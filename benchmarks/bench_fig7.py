@@ -1,0 +1,47 @@
+"""Fig. 7 reproduction benchmark: energy efficiency per mode.
+
+Regenerates all 15 bars of the figure (5 configurations x base/pipe/
+p2p) plus the i7 and Jetson reference lines, and checks the claims the
+figure supports: monotone mode ordering, the benefit of replicating
+the slow stage, and ">100x energy-efficiency gain in some cases".
+
+Run:  pytest benchmarks/bench_fig7.py --benchmark-only -s
+"""
+
+from repro.eval import generate_fig7, render_fig7
+
+from .conftest import BENCH_FRAMES
+
+
+def test_fig7(once):
+    data = once(generate_fig7, n_frames=BENCH_FRAMES)
+    print("\n" + render_fig7(data))
+
+    for cluster in data.clusters:
+        fpj = cluster.frames_per_joule
+        assert fpj["base"] < fpj["pipe"], cluster.app_key
+        assert fpj["pipe"] <= fpj["p2p"] * 1.02, cluster.app_key
+        assert fpj["p2p"] > cluster.i7_frames_per_joule
+        assert fpj["p2p"] > cluster.jetson_frames_per_joule
+    assert data.max_gain() > 100.0
+
+    # The NV cluster's three configurations rise left to right.
+    nv = [data.cluster(k).frames_per_joule["p2p"]
+          for k in ("1nv_1cl", "4nv_1cl", "4nv_4cl")]
+    assert nv[0] < nv[1] < nv[2]
+
+
+def test_fig7_pipeline_balancing(once):
+    """The Sec. V load-balancing ablation in isolation: replicating
+    the slow NV stage should scale pipe-mode throughput ~linearly
+    until the classifier saturates."""
+    from repro.eval import measure
+
+    def sweep():
+        return {key: measure(key, "pipe", n_frames=BENCH_FRAMES).fps
+                for key in ("1nv_1cl", "4nv_1cl", "4nv_4cl")}
+
+    fps = once(sweep)
+    print(f"\npipe-mode fps: {fps}")
+    assert fps["4nv_1cl"] > 1.4 * fps["1nv_1cl"]
+    assert fps["4nv_4cl"] > 1.8 * fps["4nv_1cl"]

@@ -1,0 +1,109 @@
+"""Ablation: NoC behaviour under the accelerator traffic patterns.
+
+Exercises the architectural properties the paper's p2p design relies
+on: decoupled DMA request/response planes, wormhole latency scaling
+with distance, contention on shared memory-tile links, and the effect
+of memory-tile placement.
+
+Run:  pytest benchmarks/bench_noc.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.noc import DMA_REQUEST_PLANE, Mesh2D, MessageKind, Packet
+from repro.sim import Environment
+from repro.runtime import EspRuntime, chain
+from repro.soc import SoCConfig, build_soc
+
+from tests.conftest import make_spec
+
+
+def test_noc_saturation_under_fan_in(once):
+    """All tiles DMA-ing to one corner congest its ingress links."""
+
+    def run():
+        env = Environment()
+        mesh = Mesh2D(env, 4, 4)
+        packets = []
+        for x in range(4):
+            for y in range(4):
+                if (x, y) == (3, 3):
+                    continue
+                for _ in range(4):
+                    packets.append(Packet(
+                        src=(x, y), dst=(3, 3), plane=DMA_REQUEST_PLANE,
+                        kind=MessageKind.DMA_REQ, payload_flits=255))
+        for p in packets:
+            mesh.send(p)
+        env.run()
+        return packets, mesh
+
+    packets, mesh = once(run)
+    latencies = np.array([p.latency for p in packets])
+    uncontended = 6 * 2 + 256
+    print(f"\nfan-in latency: min {latencies.min()} "
+          f"mean {latencies.mean():.0f} max {latencies.max()} "
+          f"(uncontended bound {uncontended})")
+    assert latencies.min() >= 2 + 256       # at least one hop
+    assert latencies.max() > 3 * uncontended  # congestion visible
+    busiest = mesh.busiest_links(top=1)[0]
+    assert busiest.dst == (3, 3)
+
+
+def test_memory_tile_placement(once):
+    """A centrally placed memory tile shortens DMA routes and speeds
+    up a memory-bound pipeline — the floorplanning concern the ESP GUI
+    exposes."""
+
+    def run_with_memory_at(mem_coord):
+        # Accelerators pinned on the middle row of a 3x3 mesh; the
+        # memory tile sits either between them (1 hop to each) or at
+        # the far corner (3 hops from a0).
+        config = SoCConfig(cols=3, rows=3, name="placement")
+        config.add_cpu((0, 0))
+        config.add_memory(mem_coord)
+        config.add_aux((1, 0))
+        spec = make_spec(input_words=256, output_words=256, latency=10)
+        config.add_accelerator((0, 1), "a0", spec)
+        config.add_accelerator((2, 1), "b0", spec)
+        runtime = EspRuntime(build_soc(config))
+        frames = np.random.default_rng(0).uniform(0, 1, (16, 256))
+        df = chain("ab", ["a0", "b0"])
+        return runtime.esp_run(df, frames, mode="pipe").cycles
+
+    def sweep():
+        return {"corner": run_with_memory_at((2, 2)),
+                "center": run_with_memory_at((1, 1))}
+
+    cycles = once(sweep)
+    print(f"\npipeline cycles by memory placement: {cycles}")
+    assert cycles["center"] < cycles["corner"]
+
+
+def test_p2p_shortens_distance_effect(once):
+    """Adjacent p2p neighbours beat the DRAM round trip regardless of
+    where the memory tile sits."""
+
+    def run(mode):
+        config = SoCConfig(cols=4, rows=1, name="dist")
+        config.add_cpu((0, 0))
+        config.add_memory((3, 0))
+        spec = make_spec(input_words=256, output_words=256, latency=10)
+        config.add_accelerator((1, 0), "a0", spec)
+        config.add_accelerator((2, 0), "b0", spec)
+        runtime = EspRuntime(build_soc(config))
+        frames = np.random.default_rng(0).uniform(0, 1, (16, 256))
+        return runtime.esp_run(chain("ab", ["a0", "b0"]), frames,
+                               mode=mode)
+
+    def sweep():
+        return {mode: run(mode) for mode in ("pipe", "p2p")}
+
+    results = once(sweep)
+    print(f"\ncycles: pipe {results['pipe'].cycles:,} "
+          f"p2p {results['p2p'].cycles:,}; "
+          f"dram words: pipe {results['pipe'].dram_accesses:,} "
+          f"p2p {results['p2p'].dram_accesses:,}")
+    assert results["p2p"].cycles < results["pipe"].cycles
+    assert results["p2p"].dram_accesses == \
+        results["pipe"].dram_accesses // 2

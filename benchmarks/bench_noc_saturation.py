@@ -1,0 +1,86 @@
+"""Ablation: NoC load-latency curve under uniform random traffic.
+
+The classic interconnect study: inject packets at increasing per-tile
+rates and watch average latency hockey-stick at the saturation point
+the bisection analysis predicts. Validates that the simulated mesh
+behaves like the textbook wormhole network the ESP platform builds on.
+
+Run:  pytest benchmarks/bench_noc_saturation.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.noc import (
+    DMA_REQUEST_PLANE,
+    Mesh2D,
+    MessageKind,
+    Packet,
+    saturation_injection_rate,
+    zero_load_latency,
+)
+from repro.sim import Environment
+
+COLS = ROWS = 4
+PAYLOAD_FLITS = 7
+WINDOW_CYCLES = 4000
+
+
+def run_uniform_traffic(rate_flits_per_cycle: float, seed: int = 0):
+    """Inject uniform random traffic; returns mean packet latency."""
+    env = Environment()
+    mesh = Mesh2D(env, COLS, ROWS)
+    rng = np.random.default_rng(seed)
+    size = PAYLOAD_FLITS + 1
+    period = size / rate_flits_per_cycle
+    packets = []
+
+    def injector(src):
+        # Bernoulli-ish injection: geometric gaps around the period.
+        while env.now < WINDOW_CYCLES:
+            gap = max(1, int(rng.exponential(period)))
+            yield env.timeout(gap)
+            dst = src
+            while dst == src:
+                dst = (int(rng.integers(COLS)), int(rng.integers(ROWS)))
+            packet = Packet(src=src, dst=dst, plane=DMA_REQUEST_PLANE,
+                            kind=MessageKind.DMA_REQ,
+                            payload_flits=PAYLOAD_FLITS)
+            packets.append(packet)
+            mesh.send(packet)
+
+    for x in range(COLS):
+        for y in range(ROWS):
+            env.process(injector((x, y)))
+    env.run()
+    latencies = [p.latency for p in packets if p.latency is not None]
+    return float(np.mean(latencies)), len(latencies)
+
+
+def test_load_latency_curve(once):
+    saturation = saturation_injection_rate(COLS, ROWS)
+
+    def sweep():
+        rates = [0.05, 0.15, 0.3, 0.5, 0.8, 1.1]
+        return {rate: run_uniform_traffic(rate) for rate in rates}
+
+    results = once(sweep)
+    zero_load = np.mean([
+        zero_load_latency((0, 0), (x, y), PAYLOAD_FLITS)
+        for x in range(COLS) for y in range(ROWS) if (x, y) != (0, 0)])
+    print(f"\nanalytic saturation rate: {saturation:.2f} "
+          f"flits/cycle/tile; zero-load mean ~{zero_load:.0f} cycles")
+    print(f"{'rate':>6}{'mean latency':>14}{'packets':>9}")
+    for rate, (latency, count) in results.items():
+        marker = "  <-- past saturation" if rate > saturation else ""
+        print(f"{rate:>6.2f}{latency:>14.1f}{count:>9}{marker}")
+
+    rates = sorted(results)
+    latencies = [results[r][0] for r in rates]
+    # Latency grows monotonically with load...
+    assert all(a <= b * 1.05 for a, b in zip(latencies, latencies[1:]))
+    # ...stays near zero-load at light load...
+    assert latencies[0] < 2.0 * zero_load
+    # ...and blows up beyond the analytic saturation point.
+    past = [results[r][0] for r in rates if r > saturation]
+    below = [results[r][0] for r in rates if r <= 0.31]
+    assert min(past) > 3.0 * max(below)

@@ -1,0 +1,68 @@
+"""Ablation: the HLS4ML reuse factor (Sec. II's parallelization knob).
+
+Sweeps the classifier's reuse factor and verifies the first-order HLS
+trade-offs the paper's flow exposes: II scales ~linearly with reuse,
+DSPs inversely, and the system-level throughput of a balanced pipeline
+saturates once the ML stage outruns its producer.
+
+Run:  pytest benchmarks/bench_reuse_factor.py --benchmark-only -s
+"""
+
+from repro.accelerators import classifier_spec
+
+REUSE_SWEEP = (128, 256, 512, 1024, 2048)
+
+
+def test_reuse_factor_kernel_tradeoff(once):
+    def sweep():
+        return {reuse: classifier_spec(reuse_factor=reuse)
+                for reuse in REUSE_SWEEP}
+
+    specs = once(sweep)
+    print(f"\n{'reuse':>6}{'II':>8}{'latency':>9}{'DSPs':>7}{'BRAM':>6}")
+    for reuse, spec in specs.items():
+        print(f"{reuse:>6}{spec.interval_cycles:>8,}"
+              f"{spec.latency_cycles:>9,}{spec.resources.dsps:>7,}"
+              f"{spec.resources.brams:>6,}")
+
+    intervals = [specs[r].interval_cycles for r in REUSE_SWEEP]
+    dsps = [specs[r].resources.dsps for r in REUSE_SWEEP]
+    assert intervals == sorted(intervals)
+    assert dsps == sorted(dsps, reverse=True)
+    # Doubling reuse halves the multipliers for the dominant layer.
+    assert specs[128].resources.dsps > 3 * specs[512].resources.dsps
+
+
+def test_reuse_factor_system_saturation(once):
+    """System fps stops improving once the classifier beats the NV
+    stage that feeds it — the Sec. V balancing argument."""
+    from repro.accelerators import night_vision_spec
+    from repro.datasets import darken, flatten_frames, generate
+    from repro.runtime import EspRuntime, replicated_stage
+    from repro.soc import SoCConfig, build_soc
+
+    def run_at(reuse):
+        config = SoCConfig(cols=3, rows=2, name=f"dse-{reuse}")
+        config.add_cpu((0, 0))
+        config.add_memory((1, 0))
+        config.add_aux((2, 0))
+        config.add_accelerator((0, 1), "nv0", night_vision_spec())
+        config.add_accelerator((1, 1), "cl0",
+                               classifier_spec(reuse_factor=reuse))
+        runtime = EspRuntime(build_soc(config))
+        frames_img, _ = generate(16, seed=0)
+        frames = flatten_frames(darken(frames_img))
+        dataflow = replicated_stage("nv_cl", ["nv0"], ["cl0"])
+        return runtime.esp_run(dataflow, frames,
+                               mode="p2p").frames_per_second
+
+    def sweep():
+        return {reuse: run_at(reuse) for reuse in (256, 1024, 4096)}
+
+    fps = once(sweep)
+    print(f"\nsystem fps by reuse factor: "
+          f"{ {k: round(v) for k, v in fps.items()} }")
+    # 256 vs 1024: both faster than NV -> nearly identical system fps.
+    assert abs(fps[256] - fps[1024]) / fps[256] < 0.1
+    # 4096 makes the classifier the bottleneck -> visible drop.
+    assert fps[4096] < 0.8 * fps[1024]

@@ -1,0 +1,50 @@
+"""Table I reproduction benchmark.
+
+Regenerates every cell of the paper's Table I ("summary of results
+using the best-case configuration"): FPGA utilization, dynamic power,
+and frames/s on ESP4ML / Intel i7 / Jetson TX1 for the three
+applications. The printed table shows measured vs paper values.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only -s
+"""
+
+from repro.eval import generate_table1, render_table1
+from repro.platforms import PAPER_FPS
+
+from .conftest import BENCH_FRAMES
+
+
+def test_table1(once):
+    columns = once(generate_table1, n_frames=BENCH_FRAMES)
+    print("\n" + render_table1(columns))
+
+    for cluster, column in columns.items():
+        paper = PAPER_FPS["esp4ml"][cluster]
+        ratio = column.fps_esp4ml / paper
+        # Shape check: within a factor-2 band of the paper's testbed.
+        assert 0.5 < ratio < 2.0, (cluster, ratio)
+        assert column.power_watts > 0
+
+
+def test_table1_resources_only(once):
+    """Resource/power rows alone (no simulation) — the synthesis step."""
+    from repro.eval import build_soc1, build_soc2
+    from repro.hls import XCVU9P
+    from repro.platforms import soc_power_watts
+
+    def synthesize():
+        soc1, soc2 = build_soc1(), build_soc2()
+        return (XCVU9P.utilization(soc1.resources()),
+                soc_power_watts(soc1),
+                XCVU9P.utilization(soc2.resources()),
+                soc_power_watts(soc2))
+
+    util1, power1, util2, power2 = once(synthesize)
+    print(f"\nSoC-1: LUT {util1['luts']:.0%} FF {util1['ffs']:.0%} "
+          f"BRAM {util1['brams']:.0%}  {power1:.2f} W "
+          f"(paper: 48%/24%/57%, 1.70 W)")
+    print(f"SoC-2: LUT {util2['luts']:.0%} FF {util2['ffs']:.0%} "
+          f"BRAM {util2['brams']:.0%}  {power2:.2f} W "
+          f"(paper: 19%/11%/21%, 0.98 W)")
+    assert util1["brams"] > util2["brams"]
+    assert power1 > power2

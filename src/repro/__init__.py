@@ -1,0 +1,52 @@
+"""ESP4ML reproduction: platform-based design of SoCs for embedded ML.
+
+A pure-Python reproduction of *ESP4ML: Platform-Based Design of
+Systems-on-Chip for Embedded Machine Learning* (Giri et al., DATE
+2020). The package provides:
+
+- :mod:`repro.sim` — discrete-event simulation kernel;
+- :mod:`repro.fixed` — ``ap_fixed`` fixed-point arithmetic;
+- :mod:`repro.nn` — Keras-substitute NN library;
+- :mod:`repro.datasets` — synthetic SVHN generator;
+- :mod:`repro.hls` / :mod:`repro.hls4ml_flow` — HLS scheduling and the
+  HLS4ML-substitute compiler;
+- :mod:`repro.noc` / :mod:`repro.soc` — the ESP architecture: NoC,
+  tiles, DMA, and the ESP4ML p2p communication service;
+- :mod:`repro.accelerators` — the paper's four accelerators;
+- :mod:`repro.runtime` — the Linux runtime: driver, dataflow API,
+  base/pipe/p2p execution;
+- :mod:`repro.flow` — the automated end-to-end design flow (Fig. 3);
+- :mod:`repro.platforms` — baseline CPU/GPU models + FPGA power model;
+- :mod:`repro.eval` — reproduction of every table and figure.
+
+Quickstart::
+
+    from repro.flow import Esp4mlFlow
+    from repro.accelerators import night_vision_spec, classifier_model
+    from repro.runtime import replicated_stage
+
+    flow = Esp4mlFlow()
+    flow.add_generic_accelerator("nv0", night_vision_spec())
+    flow.add_ml_accelerator("cl0", classifier_model())
+    bundle = flow.generate("my-soc")
+    dataflow = replicated_stage("app", ["nv0"], ["cl0"])
+    result = bundle.runtime.esp_run(dataflow, frames, mode="p2p")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "accelerators",
+    "datasets",
+    "eval",
+    "fixed",
+    "flow",
+    "hls",
+    "hls4ml_flow",
+    "nn",
+    "noc",
+    "platforms",
+    "runtime",
+    "sim",
+    "soc",
+]

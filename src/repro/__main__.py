@@ -1,0 +1,103 @@
+"""Command-line entry point: regenerate the paper's results.
+
+Usage::
+
+    python -m repro table1 [--frames N]
+    python -m repro fig7   [--frames N]
+    python -m repro fig8   [--frames N]
+    python -m repro all    [--frames N]
+    python -m repro train  [--preset fast|full]
+    python -m repro timeline [--mode base|pipe|p2p] [--app KEY]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args) -> None:
+    from .eval import generate_table1, render_table1
+    print(render_table1(generate_table1(n_frames=args.frames)))
+
+
+def _cmd_fig7(args) -> None:
+    from .eval import generate_fig7, render_fig7
+    print(render_fig7(generate_fig7(n_frames=args.frames)))
+
+
+def _cmd_fig8(args) -> None:
+    from .eval import generate_fig8, render_fig8
+    print(render_fig8(generate_fig8(n_frames=args.frames)))
+
+
+def _cmd_all(args) -> None:
+    print("== Table I ==")
+    _cmd_table1(args)
+    print("\n== Fig. 7 ==")
+    _cmd_fig7(args)
+    print("\n== Fig. 8 ==")
+    _cmd_fig8(args)
+
+
+def _cmd_train(args) -> None:
+    from .flow import train_classifier, train_denoiser
+    model, acc = train_classifier(preset=args.preset, force=args.force)
+    print(f"classifier accuracy ({args.preset}): {acc:.1%} (paper: 92%)")
+    model, err = train_denoiser(preset=args.preset, force=args.force)
+    print(f"denoiser reconstruction error ({args.preset}): {err:.1%} "
+          f"(paper: 3.1%)")
+
+
+def _cmd_timeline(args) -> None:
+    from .eval import APP_CONFIGS, fresh_runtime
+    from .eval.timeline import render_gantt
+    config = APP_CONFIGS[args.app]
+    runtime = fresh_runtime(config)
+    frames, _ = config.make_inputs(args.frames)
+    result = runtime.esp_run(config.build_dataflow(), frames,
+                             mode=args.mode)
+    print(f"{args.app} in mode={args.mode}: "
+          f"{result.frames_per_second:,.0f} frames/s\n")
+    print(render_gantt(runtime.soc))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ESP4ML reproduction: regenerate the paper's "
+                    "tables and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn in (("table1", _cmd_table1), ("fig7", _cmd_fig7),
+                     ("fig8", _cmd_fig8), ("all", _cmd_all)):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--frames", type=int, default=32,
+                       help="frames per measured run (default 32)")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("train", help="train the paper's two models")
+    p.add_argument("--preset", choices=("fast", "full"), default="fast")
+    p.add_argument("--force", action="store_true",
+                   help="retrain even if cached")
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("timeline",
+                       help="render an execution Gantt chart")
+    p.add_argument("--app", default="4nv_4cl",
+                   help="configuration key (default 4nv_4cl)")
+    p.add_argument("--mode", choices=("base", "pipe", "p2p"),
+                   default="p2p")
+    p.add_argument("--frames", type=int, default=8)
+    p.set_defaults(fn=_cmd_timeline)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Accelerator specifications: what a tile socket hosts.
+
+An :class:`AcceleratorSpec` is the result of one of the two design
+branches of Fig. 3 — the HLS4ML branch (ML kernels) or the generic
+SystemC/Stratus branch (e.g. the Night-Vision kernels). It bundles:
+
+- the functional kernel (bit-accurate NumPy compute),
+- the per-frame timing from the HLS schedule,
+- the FPGA resource estimate,
+- the I/O geometry (words per input/output frame, word width) that the
+  ESP wrapper needs to size DMA transactions and PLM buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..hls import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """A synthesized accelerator, ready for SoC integration."""
+
+    name: str
+    input_words: int
+    output_words: int
+    compute: Callable[[np.ndarray], np.ndarray]
+    latency_cycles: int
+    interval_cycles: int
+    resources: ResourceEstimate = field(default_factory=ResourceEstimate)
+    word_bits: int = 16
+    design_flow: str = "hls4ml"   # "hls4ml" | "stratus"
+    user_registers: Tuple[str, ...] = ()
+    #: Ping-pong PLM buffers: the wrapper overlaps LOAD/COMPUTE/STORE
+    #: across frames, so sustained cadence approaches the kernel's
+    #: initiation interval instead of its latency. Off by default (the
+    #: Fig. 4 wrapper is sequential); see the double-buffering ablation.
+    double_buffered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.input_words < 1:
+            raise ValueError(f"input_words must be >= 1, got "
+                             f"{self.input_words}")
+        if self.output_words < 1:
+            raise ValueError(f"output_words must be >= 1, got "
+                             f"{self.output_words}")
+        if self.latency_cycles < 1:
+            raise ValueError("latency_cycles must be >= 1")
+        if self.interval_cycles < 1:
+            raise ValueError("interval_cycles must be >= 1")
+        if self.word_bits not in (8, 16, 32, 64):
+            raise ValueError(f"word_bits must be 8/16/32/64, got "
+                             f"{self.word_bits}")
+        if self.design_flow not in ("hls4ml", "stratus"):
+            raise ValueError(f"unknown design flow {self.design_flow!r}")
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        """Invoke the kernel on one frame, validating I/O geometry."""
+        frame = np.asarray(frame, dtype=np.float64).reshape(-1)
+        if len(frame) != self.input_words:
+            raise ValueError(
+                f"{self.name}: expected {self.input_words} input words, "
+                f"got {len(frame)}")
+        out = np.asarray(self.compute(frame), dtype=np.float64).reshape(-1)
+        if len(out) != self.output_words:
+            raise ValueError(
+                f"{self.name}: kernel produced {len(out)} words, spec "
+                f"says {self.output_words}")
+        return out
+
+    @property
+    def plm_words(self) -> int:
+        """Private-local-memory footprint: in + out ping buffers."""
+        return self.input_words + self.output_words
+
+
+def chain_specs(name: str, stages: Sequence[AcceleratorSpec],
+                design_flow: str = "stratus") -> AcceleratorSpec:
+    """Fuse several kernels into one accelerator (single tile).
+
+    Used for the monolithic Night-Vision accelerator, whose three
+    kernels (noise filter, histogram, equalization) live in one tile.
+    Latency adds; the initiation interval is the sum as well because
+    the fused kernel runs its stages back to back on each frame.
+    """
+    stages = list(stages)
+    if not stages:
+        raise ValueError("at least one stage required")
+    for prev, nxt in zip(stages, stages[1:]):
+        if prev.output_words != nxt.input_words:
+            raise ValueError(
+                f"stage {prev.name!r} outputs {prev.output_words} words, "
+                f"{nxt.name!r} expects {nxt.input_words}")
+
+    def fused(frame: np.ndarray) -> np.ndarray:
+        for stage in stages:
+            frame = stage.run(frame)
+        return frame
+
+    resources = ResourceEstimate()
+    for stage in stages:
+        resources = resources + stage.resources
+    return AcceleratorSpec(
+        name=name,
+        input_words=stages[0].input_words,
+        output_words=stages[-1].output_words,
+        compute=fused,
+        latency_cycles=sum(s.latency_cycles for s in stages),
+        interval_cycles=sum(s.interval_cycles for s in stages),
+        resources=resources,
+        word_bits=stages[0].word_bits,
+        design_flow=design_flow,
+    )

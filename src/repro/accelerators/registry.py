@@ -1,0 +1,51 @@
+"""Accelerator registry: name -> builder.
+
+The SoC configuration GUI (and the runtime's probe order) refer to
+accelerators by name; this registry is the lookup the flow uses when a
+configuration is described textually (e.g. in examples or tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import AcceleratorSpec
+from .classifier import classifier_spec
+from .denoiser import denoiser_spec
+from .nightvision import night_vision_spec
+
+Builder = Callable[..., AcceleratorSpec]
+
+
+class AcceleratorRegistry:
+    """A mutable catalog of accelerator builders."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, Builder] = {}
+
+    def register(self, name: str, builder: Builder,
+                 replace: bool = False) -> None:
+        if not replace and name in self._builders:
+            raise ValueError(f"accelerator {name!r} already registered")
+        self._builders[name] = builder
+
+    def build(self, name: str, **kwargs) -> AcceleratorSpec:
+        if name not in self._builders:
+            raise KeyError(f"no accelerator named {name!r}; available: "
+                           f"{self.names()}")
+        return self._builders[name](**kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builders
+
+    @classmethod
+    def default(cls) -> "AcceleratorRegistry":
+        """The paper's accelerator catalog."""
+        registry = cls()
+        registry.register("classifier", classifier_spec)
+        registry.register("denoiser", denoiser_spec)
+        registry.register("night_vision", night_vision_spec)
+        return registry

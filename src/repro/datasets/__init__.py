@@ -1,0 +1,36 @@
+"""Synthetic SVHN-like dataset and the paper's frame transforms."""
+
+from .glyphs import GLYPH_COLS, GLYPH_ROWS, all_glyphs, glyph
+from .svhn import N_CLASSES, SvhnConfig, generate, generate_frame, splits
+from .transforms import (
+    FRAME_PIXELS,
+    FRAME_SIDE,
+    add_gaussian_noise,
+    darken,
+    flatten_frames,
+    from_pixels,
+    normalize,
+    to_pixels,
+    unflatten_frames,
+)
+
+__all__ = [
+    "FRAME_PIXELS",
+    "FRAME_SIDE",
+    "GLYPH_COLS",
+    "GLYPH_ROWS",
+    "N_CLASSES",
+    "SvhnConfig",
+    "add_gaussian_noise",
+    "all_glyphs",
+    "darken",
+    "flatten_frames",
+    "from_pixels",
+    "generate",
+    "generate_frame",
+    "glyph",
+    "normalize",
+    "splits",
+    "to_pixels",
+    "unflatten_frames",
+]

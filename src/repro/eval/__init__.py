@@ -1,0 +1,65 @@
+"""Experiment harness: everything the paper's evaluation reports."""
+
+from .apps import (
+    APP_CONFIGS,
+    AppConfig,
+    BEST_CASE,
+    build_soc1,
+    build_soc2,
+    classifier_inputs,
+    dataflow_de_cl,
+    dataflow_multitile,
+    dataflow_nv_cl,
+    de_cl_inputs,
+    fresh_runtime,
+    nv_cl_inputs,
+)
+from .harness import (
+    DEFAULT_FRAMES,
+    Measurement,
+    format_table,
+    measure,
+    measure_all_modes,
+    relative_error,
+)
+from .table1 import Table1Column, generate_table1, render_table1
+from .fig7 import FIG7_CONFIGS, Fig7Cluster, Fig7Data, generate_fig7, render_fig7
+from .fig8 import FIG8_CONFIGS, Fig8Bar, generate_fig8, render_fig8
+from .timeline import Span, collect_spans, render_gantt, utilization_by_device
+
+__all__ = [
+    "APP_CONFIGS",
+    "AppConfig",
+    "BEST_CASE",
+    "DEFAULT_FRAMES",
+    "FIG7_CONFIGS",
+    "FIG8_CONFIGS",
+    "Fig7Cluster",
+    "Fig7Data",
+    "Fig8Bar",
+    "Measurement",
+    "Span",
+    "Table1Column",
+    "build_soc1",
+    "build_soc2",
+    "classifier_inputs",
+    "dataflow_de_cl",
+    "dataflow_multitile",
+    "dataflow_nv_cl",
+    "de_cl_inputs",
+    "format_table",
+    "fresh_runtime",
+    "generate_fig7",
+    "generate_fig8",
+    "generate_table1",
+    "measure",
+    "measure_all_modes",
+    "nv_cl_inputs",
+    "relative_error",
+    "render_fig7",
+    "render_fig8",
+    "render_table1",
+    "render_gantt",
+    "collect_spans",
+    "utilization_by_device",
+]

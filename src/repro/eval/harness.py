@@ -1,0 +1,87 @@
+"""Shared machinery for the paper-reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Sequential
+from ..platforms import soc_power_watts
+from ..runtime import RunResult
+from .apps import APP_CONFIGS, AppConfig, fresh_runtime
+
+#: Default measurement length. Frames per run: small enough to keep a
+#: full sweep fast, large enough to amortize pipeline fill.
+DEFAULT_FRAMES = 32
+
+
+@dataclass
+class Measurement:
+    """One (configuration, mode) measurement on the simulated SoC."""
+
+    app: str
+    mode: str
+    frames: int
+    fps: float
+    watts: float
+    dram_accesses: int
+    ioctl_calls: int
+    cycles: int
+
+    @property
+    def frames_per_joule(self) -> float:
+        return self.fps / self.watts
+
+
+def measure(app_key: str, mode: str, n_frames: int = DEFAULT_FRAMES,
+            seed: int = 0,
+            classifier_model: Optional[Sequential] = None,
+            denoiser_model: Optional[Sequential] = None) -> Measurement:
+    """Run one configuration in one mode on a fresh SoC."""
+    if app_key not in APP_CONFIGS:
+        raise KeyError(f"unknown app {app_key!r}; options: "
+                       f"{sorted(APP_CONFIGS)}")
+    config: AppConfig = APP_CONFIGS[app_key]
+    runtime = fresh_runtime(config, classifier_model=classifier_model,
+                            denoiser_model=denoiser_model)
+    frames, _ = config.make_inputs(n_frames, seed=seed)
+    result: RunResult = runtime.esp_run(config.build_dataflow(), frames,
+                                        mode=mode)
+    return Measurement(
+        app=app_key,
+        mode=mode,
+        frames=result.frames,
+        fps=result.frames_per_second,
+        watts=soc_power_watts(runtime.soc),
+        dram_accesses=result.dram_accesses,
+        ioctl_calls=result.ioctl_calls,
+        cycles=result.cycles,
+    )
+
+
+def measure_all_modes(app_key: str, n_frames: int = DEFAULT_FRAMES,
+                      seed: int = 0) -> Dict[str, Measurement]:
+    """base / pipe / p2p measurements for one configuration."""
+    return {mode: measure(app_key, mode, n_frames=n_frames, seed=seed)
+            for mode in ("base", "pipe", "p2p")}
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Signed relative deviation of measured vs the paper's value."""
+    if reference == 0:
+        raise ValueError("reference value is zero")
+    return (measured - reference) / reference
+
+
+def format_table(rows, headers) -> str:
+    """Plain-text table renderer used by every experiment report."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(row):
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Execution timelines: what each accelerator did, cycle by cycle.
+
+Renders a text Gantt chart from the invocation records the accelerator
+sockets keep, which makes the difference between the three execution
+modes visible at a glance: serial staircases in ``base``, overlapping
+per-frame bars in ``pipe``, one long streaming bar per device in
+``p2p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..soc import SoCInstance
+
+
+@dataclass(frozen=True)
+class Span:
+    """One busy interval of one device."""
+
+    device: str
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+def collect_spans(soc: SoCInstance,
+                  since_cycle: int = 0) -> List[Span]:
+    """Invocation spans of every accelerator, in start order."""
+    spans = [Span(name, inv.start_cycle, inv.end_cycle)
+             for name, tile in soc.accelerators.items()
+             for inv in tile.invocations
+             if inv.end_cycle > since_cycle]
+    return sorted(spans, key=lambda s: (s.start, s.device))
+
+
+def utilization_by_device(soc: SoCInstance,
+                          window: Optional[Tuple[int, int]] = None):
+    """Fraction of the window each device spent executing."""
+    spans = collect_spans(soc)
+    if window is None:
+        if not spans:
+            return {}
+        window = (min(s.start for s in spans), max(s.end for s in spans))
+    lo, hi = window
+    length = max(1, hi - lo)
+    busy = {}
+    for span in spans:
+        overlap = max(0, min(span.end, hi) - max(span.start, lo))
+        busy[span.device] = busy.get(span.device, 0) + overlap
+    return {device: cycles / length for device, cycles in busy.items()}
+
+
+def render_gantt(soc: SoCInstance, width: int = 72,
+                 since_cycle: int = 0) -> str:
+    """ASCII Gantt chart of accelerator activity."""
+    spans = collect_spans(soc, since_cycle=since_cycle)
+    if not spans:
+        return "(no accelerator activity)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    scale = max(1, (t1 - t0)) / width
+
+    devices = sorted({s.device for s in spans})
+    label_width = max(len(d) for d in devices) + 2
+    lines = [f"cycles {t0} .. {t1}  (one column ~ {scale:.0f} cycles)"]
+    for device in devices:
+        row = [" "] * width
+        for span in spans:
+            if span.device != device:
+                continue
+            lo = int((span.start - t0) / scale)
+            hi = max(lo + 1, int((span.end - t0) / scale))
+            for col in range(lo, min(hi, width)):
+                row[col] = "#" if row[col] == " " else "#"
+        lines.append(f"{device:<{label_width}}|{''.join(row)}|")
+    util = utilization_by_device(soc, window=(t0, t1))
+    lines.append("utilization: " + "  ".join(
+        f"{device}={util.get(device, 0):.0%}" for device in devices))
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Fixed-point number formats in the style of Vivado HLS ``ap_fixed<W,I>``.
+
+HLS4ML implements neural-network inference with fixed-point arithmetic;
+the precision (e.g. ``ap_fixed<16,6>``) is part of the accelerator
+configuration. This module provides bit-accurate quantization and the
+value-range bookkeeping needed by the HLS resource estimator.
+
+Conventions follow Vivado HLS: ``width`` is the total number of bits,
+``integer_bits`` counts the bits left of the binary point *including*
+the sign bit for signed formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+VALID_ROUNDING = ("truncate", "nearest")
+VALID_OVERFLOW = ("saturate", "wrap")
+
+
+@dataclass(frozen=True)
+class FixedFormat:
+    """An ``ap_fixed``-style format: Q(integer_bits).(fraction_bits).
+
+    Attributes:
+        width: total bit width W.
+        integer_bits: bits left of the binary point I (sign included).
+        signed: two's-complement when True, unsigned otherwise.
+        rounding: "truncate" (HLS default ``AP_TRN``) or "nearest"
+            (``AP_RND``).
+        overflow: "saturate" (``AP_SAT``) or "wrap" (``AP_WRAP``,
+            the HLS default).
+    """
+
+    width: int
+    integer_bits: int
+    signed: bool = True
+    rounding: str = "truncate"
+    overflow: str = "saturate"
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.width > 64:
+            raise ValueError(f"width must be <= 64, got {self.width}")
+        if self.integer_bits > self.width:
+            raise ValueError(
+                f"integer_bits ({self.integer_bits}) exceeds width "
+                f"({self.width})")
+        if self.signed and self.integer_bits < 1:
+            raise ValueError("signed formats need integer_bits >= 1 "
+                             "for the sign bit")
+        if self.rounding not in VALID_ROUNDING:
+            raise ValueError(f"rounding must be one of {VALID_ROUNDING}")
+        if self.overflow not in VALID_OVERFLOW:
+            raise ValueError(f"overflow must be one of {VALID_OVERFLOW}")
+
+    @property
+    def fraction_bits(self) -> int:
+        return self.width - self.integer_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def raw_min(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def raw_max(self) -> int:
+        bits = self.width - 1 if self.signed else self.width
+        return (1 << bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        return self.raw_min * self.scale
+
+    @property
+    def max_value(self) -> float:
+        return self.raw_max * self.scale
+
+    @property
+    def resolution(self) -> float:
+        return self.scale
+
+    def to_raw(self, values: np.ndarray) -> np.ndarray:
+        """Quantize real values to integer raw codes (int64)."""
+        values = np.asarray(values, dtype=np.float64)
+        scaled = values / self.scale
+        if self.rounding == "nearest":
+            raw = np.floor(scaled + 0.5)
+        else:
+            raw = np.floor(scaled)
+        raw = raw.astype(np.int64)
+        if self.overflow == "saturate":
+            raw = np.clip(raw, self.raw_min, self.raw_max)
+        else:
+            span = 1 << self.width
+            raw = np.mod(raw - self.raw_min, span) + self.raw_min
+        return raw
+
+    def from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Convert integer raw codes back to real values."""
+        return np.asarray(raw, dtype=np.float64) * self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip real values through this format."""
+        return self.from_raw(self.to_raw(values))
+
+    def representable(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values exactly representable in this format."""
+        values = np.asarray(values, dtype=np.float64)
+        return np.isclose(self.quantize(values), values, rtol=0.0, atol=0.0)
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """RMS error introduced by quantizing ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        err = self.quantize(values) - values
+        return float(np.sqrt(np.mean(err * err))) if err.size else 0.0
+
+    def __str__(self) -> str:
+        kind = "ap_fixed" if self.signed else "ap_ufixed"
+        return f"{kind}<{self.width},{self.integer_bits}>"
+
+    @classmethod
+    def parse(cls, spec: str) -> "FixedFormat":
+        """Parse ``"ap_fixed<16,6>"`` / ``"ap_ufixed<8,1>"`` strings."""
+        spec = spec.strip()
+        for prefix, signed in (("ap_fixed", True), ("ap_ufixed", False)):
+            if spec.startswith(prefix + "<") and spec.endswith(">"):
+                body = spec[len(prefix) + 1:-1]
+                parts = [p.strip() for p in body.split(",")]
+                if len(parts) != 2:
+                    break
+                return cls(width=int(parts[0]), integer_bits=int(parts[1]),
+                           signed=signed)
+        raise ValueError(f"cannot parse fixed-point spec {spec!r}")
+
+
+#: The precision used throughout the paper's accelerators ("16-bits
+#: fixed-point", Sec. III).
+DEFAULT_FORMAT = FixedFormat(width=16, integer_bits=6)
+
+#: Unsigned 8-bit pixels, as stored in the SVHN frame buffers.
+PIXEL_FORMAT = FixedFormat(width=8, integer_bits=8, signed=False)
+
+
+def mac_result_format(a: FixedFormat, b: FixedFormat,
+                      terms: int) -> FixedFormat:
+    """Format of a full-precision multiply-accumulate of ``terms`` products.
+
+    Mirrors what HLS infers for ``acc += w * x`` reduction trees before
+    the final cast back to the layer output precision: the product needs
+    ``Wa+Wb`` bits and the accumulation adds ``ceil(log2(terms))`` guard
+    bits on the integer side.
+    """
+    if terms < 1:
+        raise ValueError(f"terms must be >= 1, got {terms}")
+    guard = int(np.ceil(np.log2(terms))) if terms > 1 else 0
+    width = min(64, a.width + b.width + guard)
+    integer = min(width, a.integer_bits + b.integer_bits + guard)
+    return FixedFormat(width=width, integer_bits=integer,
+                       signed=a.signed or b.signed)

@@ -1,0 +1,136 @@
+"""HLS loop scheduling model: latency and initiation interval.
+
+Substitutes the scheduling step of Vivado HLS / Stratus HLS. The model
+is first-order but captures the trade-off the paper's `reuse_factor`
+knob controls (Sec. II): "the number of times a multiplier is used in
+the computation of a layer of neurons". With ``n_weights`` multiplies
+and ``reuse_factor`` R, HLS instantiates ``n_weights / R`` multipliers
+and the layer takes ~R cycles of multiply issue plus the adder-tree and
+activation pipeline depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .resources import (
+    ResourceEstimate,
+    control_overhead,
+    memory_brams,
+    multiplier_resources,
+)
+
+
+@dataclass(frozen=True)
+class LoopSchedule:
+    """Result of scheduling one kernel/loop nest.
+
+    Attributes:
+        latency: cycles from first input to last output for one
+            invocation.
+        interval: initiation interval (cycles between successive
+            invocations when pipelined).
+        resources: estimated FPGA resources.
+    """
+
+    latency: int
+    interval: int
+    resources: ResourceEstimate
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1, got {self.interval}")
+
+
+def valid_reuse_factor(n_weights: int, reuse_factor: int) -> bool:
+    """HLS4ML requires the reuse factor to divide the multiply count."""
+    return 1 <= reuse_factor <= n_weights and n_weights % reuse_factor == 0
+
+
+def nearest_reuse_factor(n_weights: int, requested: int) -> int:
+    """Closest valid reuse factor (HLS4ML rounds the same way)."""
+    if requested < 1:
+        raise ValueError(f"reuse factor must be >= 1, got {requested}")
+    requested = min(requested, n_weights)
+    if valid_reuse_factor(n_weights, requested):
+        return requested
+    divisors = [d for d in range(1, n_weights + 1) if n_weights % d == 0]
+    return min(divisors, key=lambda d: (abs(d - requested), d))
+
+
+def dense_layer_schedule(n_in: int, n_out: int, reuse_factor: int,
+                         weight_width: int = 16,
+                         activation_depth: int = 3) -> LoopSchedule:
+    """Schedule one fully connected layer.
+
+    - multipliers instantiated: ``n_in * n_out / reuse_factor``
+    - multiply issue takes ``reuse_factor`` cycles (each multiplier
+      fires once per cycle for R cycles)
+    - the accumulate tree adds ``ceil(log2(n_in))`` pipeline stages
+    - the activation (ReLU or LUT) adds ``activation_depth`` stages
+    """
+    n_weights = n_in * n_out
+    if not valid_reuse_factor(n_weights, reuse_factor):
+        raise ValueError(
+            f"reuse factor {reuse_factor} invalid for {n_weights} weights; "
+            f"nearest valid is {nearest_reuse_factor(n_weights, reuse_factor)}")
+    n_mult = n_weights // reuse_factor
+    tree_depth = max(1, math.ceil(math.log2(max(2, n_in))))
+    latency = reuse_factor + tree_depth + activation_depth
+    interval = reuse_factor
+
+    resources = multiplier_resources(n_mult, weight_width)
+    # Weights live in BRAM, partitioned so the multipliers can all read
+    # in parallel each cycle (HLS4ML partitions by reuse factor).
+    partitions = max(1, min(n_mult, 64))
+    resources = resources + ResourceEstimate(
+        brams=memory_brams(n_weights, weight_width, partitions=partitions))
+    resources = resources + control_overhead(n_loops=2)
+    return LoopSchedule(latency=latency, interval=interval,
+                        resources=resources)
+
+
+def pipelined_loop_schedule(trip_count: int, interval: int = 1,
+                            depth: int = 4,
+                            body_resources: ResourceEstimate = ResourceEstimate()
+                            ) -> LoopSchedule:
+    """A pipelined loop: latency = depth + II * (trip_count - 1).
+
+    This is the canonical HLS pipelined-loop formula; used for the
+    Night-Vision kernels and the wrapper's load/store loops.
+    """
+    if trip_count < 1:
+        raise ValueError(f"trip_count must be >= 1, got {trip_count}")
+    latency = depth + interval * (trip_count - 1)
+    return LoopSchedule(latency=latency, interval=max(1, interval * trip_count),
+                        resources=body_resources + control_overhead())
+
+
+def sequential_schedule(*stages: LoopSchedule) -> LoopSchedule:
+    """Stages executed back to back inside one kernel (dataflow off)."""
+    if not stages:
+        raise ValueError("at least one stage required")
+    latency = sum(s.latency for s in stages)
+    resources = ResourceEstimate()
+    for stage in stages:
+        resources = resources + stage.resources
+    return LoopSchedule(latency=latency, interval=latency,
+                        resources=resources)
+
+
+def dataflow_schedule(*stages: LoopSchedule) -> LoopSchedule:
+    """Stages in an HLS DATAFLOW region: II = max stage II,
+    latency = sum of latencies (fill) but successive invocations
+    overlap."""
+    if not stages:
+        raise ValueError("at least one stage required")
+    latency = sum(s.latency for s in stages)
+    interval = max(s.interval for s in stages)
+    resources = ResourceEstimate()
+    for stage in stages:
+        resources = resources + stage.resources
+    return LoopSchedule(latency=latency, interval=interval,
+                        resources=resources)

@@ -1,0 +1,96 @@
+"""Firmware code generation (the ``compute.cpp`` of Fig. 3).
+
+The real hls4ml emits C++ firmware that Vivado HLS synthesizes; here we
+emit the equivalent sources as build artifacts, so the flow produces
+the same file set the paper's toolchain hands to the FPGA tools. The
+sources are not compiled (there is no HLS tool in this environment) —
+the bit-accurate behaviour lives in :mod:`repro.hls4ml_flow.hls_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hls import DirectiveFile, ap_fifo_interface, array_partition, pipeline
+from .hls_model import HlsModel
+
+
+def emit_parameters_header(model: HlsModel) -> str:
+    """``parameters.h``: sizes and precisions of every layer."""
+    lines = ["#ifndef PARAMETERS_H_", "#define PARAMETERS_H_", ""]
+    fmt = model.layers[0].precision
+    lines.append(f"typedef ap_fixed<{fmt.width},{fmt.integer_bits}> model_t;")
+    lines.append("")
+    for index, layer in enumerate(model.layers, start=1):
+        lines.append(f"#define N_LAYER_{index}_IN  {layer.n_in}")
+        lines.append(f"#define N_LAYER_{index}_OUT {layer.n_out}")
+        lines.append(f"#define REUSE_{index}       {layer.reuse_factor}")
+    lines.extend(["", "#endif  // PARAMETERS_H_", ""])
+    return "\n".join(lines)
+
+
+def emit_weights_header(model: HlsModel, max_values: int = 8) -> str:
+    """``weights.h``: weight arrays (elided after ``max_values``)."""
+    lines = ["// Auto-generated weight tables (values elided for brevity)"]
+    for index, layer in enumerate(model.layers, start=1):
+        flat = layer.weights.reshape(-1)
+        head = ", ".join(f"{v:.6f}" for v in flat[:max_values])
+        lines.append(
+            f"static const model_t w{index}[{flat.size}] = {{ {head}"
+            + (", ..." if flat.size > max_values else "") + " };")
+        bias = ", ".join(f"{v:.6f}" for v in layer.bias[:max_values])
+        lines.append(
+            f"static const model_t b{index}[{layer.bias.size}] = {{ {bias}"
+            + (", ..." if layer.bias.size > max_values else "") + " };")
+    return "\n".join(lines) + "\n"
+
+
+def emit_compute_cpp(model: HlsModel) -> str:
+    """``compute.cpp``: the inference top function hls4ml would emit."""
+    lines = [
+        '#include "parameters.h"',
+        '#include "weights.h"',
+        "",
+        f"// Network: {'x'.join(str(s) for s in model.topology)}",
+        "void compute(model_t input[N_LAYER_1_IN], "
+        f"model_t output[N_LAYER_{len(model.layers)}_OUT]) {{",
+    ]
+    prev = "input"
+    for index, layer in enumerate(model.layers, start=1):
+        buf = (f"layer{index}_out" if index < len(model.layers) else "output")
+        if index < len(model.layers):
+            lines.append(f"    model_t {buf}[N_LAYER_{index}_OUT];")
+        lines.append(
+            f"    nnet::dense<model_t, {layer.n_in}, {layer.n_out}, "
+            f"REUSE_{index}>({prev}, {buf}, w{index}, b{index});")
+        if layer.activation != "linear":
+            lines.append(
+                f"    nnet::{layer.activation}<model_t, "
+                f"N_LAYER_{index}_OUT>({buf}, {buf});")
+        prev = buf
+    lines.extend(["}", ""])
+    return "\n".join(lines)
+
+
+def emit_directives_tcl(model: HlsModel) -> str:
+    """``directives.tcl`` matching the generated compute function."""
+    directives = DirectiveFile(top="compute")
+    directives.add(ap_fifo_interface("compute", "input"))
+    directives.add(ap_fifo_interface("compute", "output"))
+    for index, layer in enumerate(model.layers, start=1):
+        directives.add(pipeline(f"compute/dense_{index}",
+                                ii=layer.reuse_factor))
+        directives.add(array_partition(
+            "compute", f"w{index}",
+            factor=max(1, min(layer.n_multipliers, 64))))
+    return directives.to_tcl()
+
+
+def emit_all(model: HlsModel) -> Dict[str, str]:
+    """Every artifact of the ML branch of Fig. 3, keyed by file name."""
+    return {
+        "parameters.h": emit_parameters_header(model),
+        "weights.h": emit_weights_header(model),
+        "compute.cpp": emit_compute_cpp(model),
+        "directives.tcl": emit_directives_tcl(model),
+    }

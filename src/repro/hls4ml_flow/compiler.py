@@ -1,0 +1,121 @@
+"""The HLS4ML-substitute compiler.
+
+Consumes exactly what hls4ml consumes — the topology JSON and the
+weight arrays of a trained model (paper Sec. II) — and produces an
+:class:`~repro.hls4ml_flow.hls_model.HlsModel` ready for SoC
+integration: bit-accurate fixed-point inference plus per-layer hardware
+schedules controlled by the reuse factor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn import Sequential, model_artifacts
+from .config import HlsConfig
+from .hls_model import HlsDenseLayer, HlsModel, build_layer
+
+_ACTIVATION_CLASSES = {"ReLU": "relu", "Sigmoid": "sigmoid",
+                       "Softmax": "softmax"}
+_IGNORED_CLASSES = ("Dropout", "GaussianNoise")
+
+
+def _parse_layers(config: Dict) -> List[Dict]:
+    """Fuse Dense + following activation; drop training-only layers.
+
+    hls4ml performs the same normalization: dropout disappears at
+    inference, and activations fuse into the preceding dense layer.
+    """
+    fused: List[Dict] = []
+    for layer in config["layers"]:
+        cls = layer["class_name"]
+        if cls in _IGNORED_CLASSES:
+            continue
+        if cls == "Dense":
+            fused.append({"name": layer["name"], "units": layer["units"],
+                          "activation": "linear", "batch_norm": None})
+        elif cls == "BatchNormalization":
+            # hls4ml's fuse_batch_norm pass: fold into the preceding
+            # Dense layer (must come before its activation).
+            if not fused:
+                raise ValueError(
+                    f"BatchNormalization {layer['name']!r} precedes any "
+                    f"Dense layer")
+            if fused[-1]["activation"] != "linear":
+                raise ValueError(
+                    f"BatchNormalization {layer['name']!r} after the "
+                    f"activation cannot be folded; place it between the "
+                    f"Dense layer and its activation")
+            if fused[-1]["batch_norm"] is not None:
+                raise ValueError(
+                    f"two BatchNormalization layers after "
+                    f"{fused[-1]['name']!r}")
+            fused[-1]["batch_norm"] = {"name": layer["name"],
+                                       "eps": layer.get("eps", 1e-3)}
+        elif cls in _ACTIVATION_CLASSES:
+            if not fused:
+                raise ValueError(
+                    f"activation layer {layer['name']!r} precedes any Dense "
+                    f"layer")
+            if fused[-1]["activation"] != "linear":
+                raise ValueError(
+                    f"two consecutive activations at {layer['name']!r}")
+            fused[-1]["activation"] = _ACTIVATION_CLASSES[cls]
+        else:
+            raise ValueError(
+                f"layer class {cls!r} is not supported by the compiler")
+    if not fused:
+        raise ValueError("model contains no Dense layers")
+    return fused
+
+
+def compile_artifacts(json_text: str, weights: Dict[str, np.ndarray],
+                      config: Optional[HlsConfig] = None) -> HlsModel:
+    """Compile from the JSON + weights pair (the hls4ml input format)."""
+    config = config or HlsConfig()
+    model_config = json.loads(json_text)
+    fused = _parse_layers(model_config)
+
+    layers: List[HlsDenseLayer] = []
+    for spec in fused:
+        name = spec["name"]
+        w_key, b_key = f"{name}/weights", f"{name}/bias"
+        if w_key not in weights or b_key not in weights:
+            raise KeyError(f"weights for layer {name!r} not found")
+        w = np.asarray(weights[w_key], dtype=np.float64)
+        b = np.asarray(weights[b_key], dtype=np.float64)
+        if spec.get("batch_norm"):
+            bn = spec["batch_norm"]
+            prefix = bn["name"]
+            try:
+                gamma = weights[f"{prefix}/gamma"]
+                beta = weights[f"{prefix}/beta"]
+                mean = weights[f"{prefix}/moving_mean"]
+                var = weights[f"{prefix}/moving_var"]
+            except KeyError as exc:
+                raise KeyError(
+                    f"batch-norm weights for {prefix!r} not found") from exc
+            scale = gamma / np.sqrt(np.asarray(var) + bn["eps"])
+            # y = scale * (xW + b) + shift  ->  x(W*scale) + fused bias
+            w = w * scale[None, :]
+            b = scale * b + (beta - scale * np.asarray(mean))
+        layers.append(build_layer(
+            name=name,
+            weights=w,
+            bias=b,
+            activation=spec["activation"],
+            precision=config.precision,
+            reuse_factor=config.reuse_for(name),
+        ))
+    return HlsModel(name=model_config.get("name", "model"), layers=layers,
+                    clock_mhz=config.clock_mhz)
+
+
+def compile_model(model: Sequential,
+                  config: Optional[HlsConfig] = None) -> HlsModel:
+    """Compile a trained in-memory model (convenience entry point)."""
+    json_text, weights = model_artifacts(model)
+    return compile_artifacts(json_text, weights, config)

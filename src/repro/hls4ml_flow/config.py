@@ -1,0 +1,49 @@
+"""HLS4ML configuration: precision and reuse factor.
+
+Mirrors hls4ml's config dictionary: a default fixed-point precision for
+the whole model and a reuse factor, optionally overridden per layer.
+The paper calls the reuse factor "a single configuration parameter that
+specifies the number of times a multiplier is used in the computation
+of a layer of neurons" (Sec. II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..fixed import DEFAULT_FORMAT, FixedFormat
+
+
+@dataclass
+class HlsConfig:
+    """Configuration handed to :func:`repro.hls4ml_flow.compile_model`.
+
+    Attributes:
+        precision: fixed-point format for activations and weights
+            (default ``ap_fixed<16,6>``, the paper's "16-bits
+            fixed-point").
+        reuse_factor: global reuse factor; may be overridden per layer
+            through ``layer_reuse``. Invalid values snap to the nearest
+            divisor of each layer's weight count, as hls4ml does.
+        layer_reuse: optional per-layer reuse factors keyed by layer
+            name.
+        clock_mhz: target clock, used only for ns-domain reports.
+    """
+
+    precision: Union[FixedFormat, str] = DEFAULT_FORMAT
+    reuse_factor: int = 32
+    layer_reuse: Dict[str, int] = field(default_factory=dict)
+    clock_mhz: float = 78.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.precision, str):
+            self.precision = FixedFormat.parse(self.precision)
+        if self.reuse_factor < 1:
+            raise ValueError(
+                f"reuse_factor must be >= 1, got {self.reuse_factor}")
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be > 0, got {self.clock_mhz}")
+
+    def reuse_for(self, layer_name: str) -> int:
+        return self.layer_reuse.get(layer_name, self.reuse_factor)

@@ -1,0 +1,56 @@
+"""Model (de)serialization: JSON topology + NPZ weights.
+
+HLS4ML consumes "a JSON file for the network topology and a HDF5 file
+for the model weights and biases" (paper Sec. II). We mirror that split
+exactly, with NPZ standing in for HDF5 (same content: named arrays).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from .layers import layer_from_config
+from .model import Sequential
+
+PathLike = Union[str, Path]
+
+
+def model_to_json(model: Sequential) -> str:
+    """Serialize the model topology to a JSON string."""
+    return json.dumps(model.config(), indent=2)
+
+
+def model_from_json(text: str) -> Sequential:
+    """Rebuild an (unweighted but built) model from topology JSON."""
+    config = json.loads(text)
+    layers = [layer_from_config(c) for c in config["layers"]]
+    model = Sequential(layers, name=config.get("name", "model"))
+    model.build(config["input_dim"])
+    return model
+
+
+def save_model(model: Sequential, json_path: PathLike,
+               weights_path: PathLike) -> None:
+    """Write ``model.json`` + ``model.npz`` (the HDF5 stand-in)."""
+    Path(json_path).write_text(model_to_json(model))
+    weights = {k.replace("/", "__"): v for k, v in model.get_weights().items()}
+    np.savez(weights_path, **weights)
+
+
+def load_model(json_path: PathLike,
+               weights_path: PathLike) -> Sequential:
+    """Load a model from topology JSON + NPZ weights."""
+    model = model_from_json(Path(json_path).read_text())
+    with np.load(weights_path) as data:
+        weights = {k.replace("__", "/"): data[k] for k in data.files}
+    model.set_weights(weights)
+    return model
+
+
+def model_artifacts(model: Sequential) -> Tuple[str, Dict[str, np.ndarray]]:
+    """In-memory (json_text, weights) pair, the HLS4ML compiler input."""
+    return model_to_json(model), model.get_weights()

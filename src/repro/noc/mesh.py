@@ -1,0 +1,177 @@
+"""The multi-plane 2D-mesh NoC.
+
+An M x N grid of tiles connected by bi-directional links on several
+independent planes (paper Sec. II): three coherence planes, two DMA
+planes (requests and responses decoupled to prevent deadlock — the
+queues the p2p service later reuses), and one IO/IRQ plane.
+
+The timing model is wormhole switching at packet granularity: the head
+flit acquires each link of the XY route in order (head-of-line blocking
+and contention emerge from the link resources), each router adds a
+fixed pipeline latency, and the body serializes for ``size_flits``
+cycles. End-to-end latency of an uncontended packet is the textbook
+``hops * router_latency + size_flits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim import Environment, Fifo, Process
+from .link import Link
+from .packet import Coord, MessageKind, Packet
+from .routing import route_hops, validate_coord
+
+
+@dataclass(frozen=True)
+class NocPlane:
+    """One NoC plane: a full set of mesh links of a given width."""
+
+    name: str
+    flit_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.flit_bits < 8:
+            raise ValueError(f"flit_bits must be >= 8, got {self.flit_bits}")
+
+
+#: ESP's six-plane configuration (Fig. 2): planes 1-3 carry the cache
+#: coherence protocol, planes 4-5 are the accelerators' DMA response /
+#: request planes, plane 6 carries IO and interrupts.
+DEFAULT_PLANES = (
+    NocPlane("coh-req"),
+    NocPlane("coh-fwd"),
+    NocPlane("coh-rsp"),
+    NocPlane("dma-rsp"),
+    NocPlane("dma-req"),
+    NocPlane("io-irq", flit_bits=32),
+)
+
+#: The two planes allotted to accelerator DMA (paper Sec. II).
+DMA_REQUEST_PLANE = "dma-req"
+DMA_RESPONSE_PLANE = "dma-rsp"
+IO_PLANE = "io-irq"
+
+
+class Mesh2D:
+    """The NoC instance: links, ejection queues and transmission."""
+
+    def __init__(self, env: Environment, cols: int, rows: int,
+                 planes: Iterable[NocPlane] = DEFAULT_PLANES,
+                 router_latency: int = 2,
+                 trace_links: bool = False) -> None:
+        if cols < 1 or rows < 1:
+            raise ValueError(f"mesh must be at least 1x1, got {cols}x{rows}")
+        if router_latency < 1:
+            raise ValueError(
+                f"router_latency must be >= 1, got {router_latency}")
+        self.env = env
+        self.cols = cols
+        self.rows = rows
+        planes = tuple(planes)
+        self.planes: Dict[str, NocPlane] = {p.name: p for p in planes}
+        if len(self.planes) < len(planes):
+            raise ValueError("duplicate plane names")
+        self.router_latency = router_latency
+
+        self.links: Dict[Tuple[Coord, Coord, str], Link] = {}
+        for x in range(cols):
+            for y in range(rows):
+                for nx, ny in ((x + 1, y), (x, y + 1)):
+                    if nx >= cols or ny >= rows:
+                        continue
+                    for plane in self.planes.values():
+                        for src, dst in (((x, y), (nx, ny)),
+                                         ((nx, ny), (x, y))):
+                            self.links[(src, dst, plane.name)] = Link(
+                                env, src, dst, plane.name,
+                                plane.flit_bits,
+                                record_history=trace_links)
+
+        self._inboxes: Dict[Tuple[Coord, str], Fifo] = {}
+        for x in range(cols):
+            for y in range(rows):
+                for plane in self.planes:
+                    self._inboxes[((x, y), plane)] = Fifo(
+                        env, name=f"inbox{(x, y)}@{plane}")
+
+        # Aggregate statistics.
+        self.packets_delivered = 0
+        self.flit_hops = 0
+        self.total_latency = 0
+        self.delivered_by_kind: Dict[MessageKind, int] = {}
+
+    # -- topology helpers --------------------------------------------------
+
+    def coords(self) -> List[Coord]:
+        return [(x, y) for y in range(self.rows) for x in range(self.cols)]
+
+    def inbox(self, coord: Coord, plane: str) -> Fifo:
+        """The ejection queue of ``coord`` on ``plane``."""
+        self._check(coord, plane)
+        return self._inboxes[(coord, plane)]
+
+    def flit_bits(self, plane: str) -> int:
+        return self.planes[plane].flit_bits
+
+    def _check(self, coord: Coord, plane: str) -> None:
+        validate_coord(coord, self.cols, self.rows)
+        if plane not in self.planes:
+            raise ValueError(
+                f"unknown plane {plane!r}; options: {sorted(self.planes)}")
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, packet: Packet) -> Process:
+        """Inject ``packet``; the process completes at delivery."""
+        self._check(packet.src, packet.plane)
+        self._check(packet.dst, packet.plane)
+        return self.env.process(self._transmit(packet))
+
+    def _transmit(self, packet: Packet):
+        packet.injected_at = self.env.now
+        if packet.src == packet.dst:
+            # Local ejection: no links, one router traversal.
+            yield self.env.timeout(self.router_latency)
+        else:
+            hops = route_hops(packet.src, packet.dst)
+            held: List[Link] = []
+            for hop_src, hop_dst in hops:
+                link = self.links[(hop_src, hop_dst, packet.plane)]
+                yield link.channel.acquire()
+                held.append(link)
+                yield self.env.timeout(self.router_latency)
+            # Head reached the destination; the body drains behind it.
+            yield self.env.timeout(packet.size_flits)
+            for link in held:
+                link.record(packet.size_flits)
+                link.channel.release()
+            self.flit_hops += packet.size_flits * len(held)
+        packet.delivered_at = self.env.now
+        self.packets_delivered += 1
+        self.total_latency += packet.latency
+        self.delivered_by_kind[packet.kind] = (
+            self.delivered_by_kind.get(packet.kind, 0) + 1)
+        yield self._inboxes[(packet.dst, packet.plane)].put(packet)
+        return packet
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def average_latency(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_latency / self.packets_delivered
+
+    def busiest_links(self, top: int = 5) -> List[Link]:
+        ranked = sorted(self.links.values(),
+                        key=lambda l: l.flits_carried, reverse=True)
+        return ranked[:top]
+
+    def plane_flits(self) -> Dict[str, int]:
+        """Flit-hops per plane (shows DMA planes carrying p2p traffic)."""
+        out = {name: 0 for name in self.planes}
+        for link in self.links.values():
+            out[link.plane] += link.flits_carried
+        return out

@@ -1,0 +1,67 @@
+"""NoC packets and message kinds.
+
+ESP's NoC moves multi-flit packets between tiles; accelerators use two
+dedicated DMA planes (requests and responses on decoupled planes to
+prevent deadlock, paper Sec. II), and the p2p service reuses exactly
+those planes (Sec. IV).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+Coord = Tuple[int, int]
+
+_packet_ids = itertools.count()
+
+
+class MessageKind(Enum):
+    """Message classes carried by the NoC."""
+
+    DMA_REQ = "dma_req"        # DMA load/store request (to memory tile)
+    DMA_RSP = "dma_rsp"        # DMA load response (data from memory)
+    P2P_REQ = "p2p_req"        # p2p load request (receiver -> sender tile)
+    P2P_RSP = "p2p_rsp"        # p2p data (sender tile -> receiver)
+    REG_ACCESS = "reg_access"  # memory-mapped register read/write
+    IRQ = "irq"                # interrupt toward the processor tile
+    COHERENCE = "coherence"    # processor cache traffic (background)
+
+
+@dataclass
+class Packet:
+    """One NoC packet: header flit + payload flits.
+
+    ``payload`` is opaque to the network (the functional data rides
+    along with the timing model). ``payload_flits`` determines the
+    serialization time on every link of the route.
+    """
+
+    src: Coord
+    dst: Coord
+    plane: str
+    kind: MessageKind
+    payload_flits: int
+    payload: Any = None
+    tag: Optional[str] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    injected_at: Optional[int] = None
+    delivered_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_flits < 0:
+            raise ValueError(
+                f"payload_flits must be >= 0, got {self.payload_flits}")
+
+    @property
+    def size_flits(self) -> int:
+        """Total flits on the wire (1 header flit + payload)."""
+        return 1 + self.payload_flits
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.injected_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at

@@ -1,0 +1,55 @@
+"""Baseline platform models and the FPGA power model."""
+
+from .calibration import (
+    ARM_A57_POWER_W,
+    I7_KERNEL_FPS,
+    I7_POWER_W,
+    JETSON_GPU_POWER_W,
+    JETSON_KERNEL_FPS,
+    PAPER_FPS,
+    PAPER_SOC_POWER_W,
+    PAPER_UTILIZATION,
+    derive_kernel_fps,
+)
+from .software import (
+    ANALYTIC_I7,
+    ANALYTIC_JETSON,
+    ARM_A57_WATTS,
+    AnalyticSoftwareModel,
+    INTEL_I7_8700K,
+    JETSON_TX1,
+    KERNEL_FLOPS,
+    SoftwarePlatform,
+)
+from .power import (
+    DEFAULT_POWER_MODEL,
+    PowerModel,
+    REFERENCE_CLOCK_MHZ,
+    soc_power_watts,
+    soc_power_watts_dvfs,
+)
+
+__all__ = [
+    "ANALYTIC_I7",
+    "ANALYTIC_JETSON",
+    "ARM_A57_POWER_W",
+    "ARM_A57_WATTS",
+    "AnalyticSoftwareModel",
+    "DEFAULT_POWER_MODEL",
+    "INTEL_I7_8700K",
+    "I7_KERNEL_FPS",
+    "I7_POWER_W",
+    "JETSON_GPU_POWER_W",
+    "JETSON_KERNEL_FPS",
+    "JETSON_TX1",
+    "KERNEL_FLOPS",
+    "PAPER_FPS",
+    "PAPER_SOC_POWER_W",
+    "PAPER_UTILIZATION",
+    "PowerModel",
+    "REFERENCE_CLOCK_MHZ",
+    "SoftwarePlatform",
+    "derive_kernel_fps",
+    "soc_power_watts",
+    "soc_power_watts_dvfs",
+]

@@ -1,0 +1,94 @@
+"""FPGA power model (the Vivado power-report substitute).
+
+The paper reports "the average dynamic power consumption for the two
+ESP4ML SoCs as estimated by Xilinx Vivado for the whole SoC (i.e. not
+just for the accelerators active in a specific test)" — a deliberately
+conservative whole-design figure (Sec. VI). We reproduce that
+methodology with an activity-based linear model over the SoC's
+resource usage, calibrated against the paper's two design points
+(1.70 W for SoC-1, 0.98 W for SoC-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hls import ResourceEstimate
+
+#: Reference clock for the calibrated coefficients.
+REFERENCE_CLOCK_MHZ = 78.0
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear dynamic-power model: P = base + sum(coeff * usage).
+
+    Coefficients are in watts per resource unit at the reference clock;
+    dynamic power scales linearly with clock frequency.
+    """
+
+    base_watts: float = 0.584           # NoC, clock tree, CPU activity
+    watts_per_lut: float = 0.8975e-6
+    watts_per_ff: float = 0.0           # folded into the LUT coefficient
+    watts_per_bram: float = 0.35e-3
+    watts_per_dsp: float = 0.15e-3
+
+    def dynamic_watts(self, resources: ResourceEstimate,
+                      clock_mhz: float = REFERENCE_CLOCK_MHZ) -> float:
+        if clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be > 0, got {clock_mhz}")
+        power = (self.base_watts
+                 + self.watts_per_lut * resources.luts
+                 + self.watts_per_ff * resources.ffs
+                 + self.watts_per_bram * resources.brams
+                 + self.watts_per_dsp * resources.dsps)
+        return power * (clock_mhz / REFERENCE_CLOCK_MHZ)
+
+
+#: The calibrated default model.
+DEFAULT_POWER_MODEL = PowerModel()
+
+
+def soc_power_watts(soc, model: PowerModel = DEFAULT_POWER_MODEL) -> float:
+    """Whole-SoC average dynamic power (the Fig. 7 divisor)."""
+    return model.dynamic_watts(soc.resources(), soc.clock_mhz)
+
+
+def _tile_contribution(model: PowerModel, resources) -> float:
+    """Dynamic power of one tile's logic (excludes the global base)."""
+    return (model.watts_per_lut * resources.luts
+            + model.watts_per_ff * resources.ffs
+            + model.watts_per_bram * resources.brams
+            + model.watts_per_dsp * resources.dsps)
+
+
+def soc_power_watts_dvfs(soc, dividers,
+                         model: PowerModel = DEFAULT_POWER_MODEL) -> float:
+    """Whole-SoC power with per-tile DVFS dividers applied.
+
+    ``dividers`` maps accelerator device names to clock dividers; a
+    tile running at f/k burns ~1/k of its dynamic power (ESP pairs
+    each tile with a DVFS controller — Mantovani et al. [21], cited by
+    the paper). Tiles not mentioned run at full clock.
+    """
+    from ..soc.soc_builder import TILE_OVERHEAD
+
+    total = model.base_watts
+    counted = 0
+    for _, tile in soc.config.tiles.items():
+        resources = TILE_OVERHEAD[tile.kind]
+        if tile.kind == "acc" and tile.spec is not None:
+            resources = resources + tile.spec.resources
+        contribution = _tile_contribution(model, resources)
+        if tile.kind == "acc" and tile.name in dividers:
+            divider = dividers[tile.name]
+            if divider < 1:
+                raise ValueError(
+                    f"divider for {tile.name!r} must be >= 1")
+            contribution /= divider
+        total += contribution
+        counted += 1
+    unassigned = soc.config.cols * soc.config.rows - counted
+    total += unassigned * _tile_contribution(model,
+                                             TILE_OVERHEAD["empty"])
+    return total * (soc.clock_mhz / REFERENCE_CLOCK_MHZ)

@@ -1,0 +1,42 @@
+"""The ESP4ML software runtime: driver, allocator, dataflow, executor."""
+
+from .driver import DeviceRegistry, EspDevice
+from .alloc import Buffer, ContigAllocator
+from .dataflow import (
+    COMM_KINDS,
+    Dataflow,
+    DataflowEdge,
+    EXECUTION_MODES,
+    chain,
+    replicated_stage,
+)
+from .executor import (
+    DataflowExecutor,
+    ExecutionPlan,
+    NodePlan,
+    RunResult,
+    RuntimeCosts,
+)
+from .api import EspRuntime
+from .codegen import emit_dataflow_header, emit_user_app
+
+__all__ = [
+    "Buffer",
+    "COMM_KINDS",
+    "ContigAllocator",
+    "Dataflow",
+    "DataflowEdge",
+    "DataflowExecutor",
+    "DeviceRegistry",
+    "EXECUTION_MODES",
+    "EspDevice",
+    "EspRuntime",
+    "ExecutionPlan",
+    "NodePlan",
+    "RunResult",
+    "RuntimeCosts",
+    "chain",
+    "emit_dataflow_header",
+    "emit_user_app",
+    "replicated_stage",
+]

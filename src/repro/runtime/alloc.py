@@ -1,0 +1,102 @@
+"""Contiguous buffer allocation (the ``esp_alloc`` of libesp).
+
+Accelerators DMA into big physically-backed buffers that user space
+sees as contiguous (paper [15]); ``esp_alloc`` hands them out and
+``esp_cleanup`` releases everything. The allocator also gives software
+direct read/write access to buffer contents (the CPU side of Fig. 5's
+``init_buffer`` / ``validate_buffer``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..soc import MemoryMap
+
+
+class Buffer:
+    """One contiguous allocation in the accelerator address space."""
+
+    def __init__(self, memory_map: MemoryMap, offset: int, words: int,
+                 label: str = "buf") -> None:
+        self.memory_map = memory_map
+        self.offset = offset
+        self.words = words
+        self.label = label
+        self.freed = False
+
+    def _check(self, start: int, n_words: int) -> None:
+        if self.freed:
+            raise RuntimeError(f"buffer {self.label!r} already freed")
+        if start < 0 or start + n_words > self.words:
+            raise ValueError(
+                f"range [{start}, {start + n_words}) outside buffer "
+                f"{self.label!r} of {self.words} words")
+
+    def write(self, data: np.ndarray, start: int = 0) -> None:
+        """CPU-side store into the buffer."""
+        data = np.asarray(data, dtype=np.float64).reshape(-1)
+        self._check(start, len(data))
+        self.memory_map.write_words(self.offset + start, data)
+
+    def read(self, start: int = 0,
+             n_words: Optional[int] = None) -> np.ndarray:
+        """CPU-side load from the buffer."""
+        n_words = self.words - start if n_words is None else n_words
+        self._check(start, n_words)
+        return self.memory_map.read_words(self.offset + start, n_words)
+
+    def word_address(self, index: int = 0) -> int:
+        """Global word address of element ``index`` (for DMA offsets)."""
+        self._check(index, 1)
+        return self.offset + index
+
+    def __len__(self) -> int:
+        return self.words
+
+
+class ContigAllocator:
+    """Bump allocator over the SoC's memory space with 64-word alignment.
+
+    Real contig_alloc manages physically scattered chunks behind a
+    scatter-gather list; the TLB hides that from accelerators, so a
+    linear model preserves every observable behaviour.
+    """
+
+    ALIGN = 64
+
+    def __init__(self, memory_map: MemoryMap, base: int = 0) -> None:
+        self.memory_map = memory_map
+        self.base = base
+        self._cursor = base
+        self._live: List[Buffer] = []
+
+    def alloc(self, n_words: int, label: str = "buf") -> Buffer:
+        if n_words < 1:
+            raise ValueError(f"n_words must be >= 1, got {n_words}")
+        aligned = (self._cursor + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+        if aligned + n_words > self.memory_map.total_words:
+            raise MemoryError(
+                f"out of accelerator memory: need {n_words} words at "
+                f"{aligned}, capacity {self.memory_map.total_words}")
+        buffer = Buffer(self.memory_map, aligned, n_words, label=label)
+        self._cursor = aligned + n_words
+        self._live.append(buffer)
+        return buffer
+
+    def cleanup(self) -> None:
+        """Free every allocation (the ``esp_cleanup`` call)."""
+        for buffer in self._live:
+            buffer.freed = True
+        self._live.clear()
+        self._cursor = self.base
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._live)
+
+    @property
+    def words_in_use(self) -> int:
+        return sum(b.words for b in self._live)

@@ -1,0 +1,70 @@
+"""The libesp-style user API (what Fig. 5's generated app calls).
+
+Wraps device probe, buffer allocation and dataflow execution into the
+three calls the paper's generated application uses: ``esp_alloc``,
+``esp_run`` and ``esp_cleanup``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..soc import SoCInstance
+from .alloc import Buffer, ContigAllocator
+from .dataflow import Dataflow
+from .driver import DeviceRegistry
+from .executor import DataflowExecutor, RunResult, RuntimeCosts
+
+
+class EspRuntime:
+    """The software stack of one booted SoC: driver + libesp.
+
+    Creating the runtime performs the driver probe (building the global
+    device list); the instance then exposes the user-level API.
+    """
+
+    def __init__(self, soc: SoCInstance,
+                 costs: Optional[RuntimeCosts] = None) -> None:
+        self.soc = soc
+        self.registry = DeviceRegistry()
+        self.registry.probe(soc)
+        self.allocator = ContigAllocator(soc.memory_map)
+        self.executor = DataflowExecutor(soc, self.registry,
+                                         self.allocator, costs=costs)
+
+    # -- libesp ----------------------------------------------------------
+
+    def esp_alloc(self, n_words: int, label: str = "buf") -> Buffer:
+        """Allocate an accelerator-visible contiguous buffer."""
+        return self.allocator.alloc(n_words, label=label)
+
+    def esp_run(self, dataflow: Dataflow, frames: np.ndarray,
+                mode: str = "p2p", coherent: bool = False,
+                dvfs=None) -> RunResult:
+        """Execute the accelerator dataflow over a batch of frames.
+
+        ``mode`` selects the execution strategy of Fig. 7: ``base``
+        (serial, DMA), ``pipe`` (threaded pipeline, DMA), ``p2p``
+        (threaded pipeline over the p2p service) or ``custom``
+        (per-edge transport). ``coherent`` switches DMA transactions to
+        the LLC-coherent model when the memory tile hosts an LLC.
+        ``dvfs`` maps device names to clock dividers (per-tile DVFS):
+        a device with divider k computes k times slower and burns
+        ~1/k of its dynamic power.
+        """
+        return self.executor.execute(dataflow, frames, mode,
+                                     coherent=coherent, dvfs=dvfs)
+
+    def esp_cleanup(self) -> None:
+        """Release every buffer allocated through this runtime."""
+        self.allocator.cleanup()
+
+    # -- conveniences -------------------------------------------------------
+
+    def device_names(self):
+        return self.registry.names()
+
+    def device_location(self, name: str):
+        return self.registry.coords_for(name)

@@ -1,0 +1,74 @@
+"""User-application code generation (the Fig. 5 artifact).
+
+The ESP4ML flow generates, for a given SoC and dataflow, a C
+application skeleton plus a ``dflow.h`` configuration header. The
+generated sources are flow artifacts (like the HLS firmware emitted by
+:mod:`repro.hls4ml_flow.codegen`); the executable behaviour lives in
+:class:`repro.runtime.api.EspRuntime`.
+"""
+
+from __future__ import annotations
+
+from .dataflow import Dataflow
+
+
+def emit_dataflow_header(dataflow: Dataflow, n_frames: int,
+                         mode: str = "p2p") -> str:
+    """Render ``dflow.h``: one descriptor per accelerator invocation."""
+    levels = dataflow.levels()
+    lines = [
+        f"// Auto-generated dataflow configuration: {dataflow.name}",
+        f"#define NACC {len(dataflow.devices)}",
+        f"#define N_FRAMES {n_frames}",
+        "",
+        "esp_thread_info_t cfg_" + dataflow.name + "[] = {",
+    ]
+    last = len(levels) - 1
+    for level_idx, names in enumerate(levels):
+        for name in names:
+            load = "P2P" if (mode == "p2p" and level_idx > 0) else "DMA"
+            store = "P2P" if (mode == "p2p" and level_idx < last) else "DMA"
+            sources = ""
+            if load == "P2P":
+                rotation = dataflow.source_rotation(name)
+                sources = ', .p2p_srcs = {' + ", ".join(
+                    f'"{s}"' for s in rotation) + '}'
+            lines.append(
+                f'    {{ .devname = "{name}", .load = {load}, '
+                f'.store = {store}{sources} }},')
+    lines.append("};")
+    return "\n".join(lines) + "\n"
+
+
+def emit_user_app(dataflow: Dataflow, dataset_words: int) -> str:
+    """Render the generated ``main`` (the snippet shown in Fig. 5)."""
+    header = f"dflow_{dataflow.name}.h"
+    return f'''#include "libesp.h"
+#include "{header}"
+
+int main(int argc, char **argv)
+{{
+    int errors = 0;
+    contig_handle_t contig;
+    uint8_t *buf;
+
+    // Allocate memory
+    buf = (uint8_t *) esp_alloc(&contig, {dataset_words});
+
+    // Initialize buffer
+    init_buffer(buf);
+
+    // Execute accelerator(s) dataflow.
+    // The configuration specifies the communication
+    // for each accelerator invocation: DMA or P2P.
+    esp_run(cfg_{dataflow.name}, NACC);
+
+    // Validation
+    errors += validate_buffer(buf);
+
+    // Free memory
+    esp_cleanup();
+
+    return errors;
+}}
+'''

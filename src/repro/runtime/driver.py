@@ -1,0 +1,83 @@
+"""The ESP Linux device-driver layer (kernel-side model).
+
+Paper Sec. IV: "we modified the ESP device driver such that any
+registered accelerator (discovered when probe is executed) is added to
+a global linked list protected by a spinlock. This list allows any
+thread executing the code of an accelerator device-driver in kernel
+mode to access information related to other accelerators ... a device
+name, already known in user space, can be mapped to the corresponding
+x-y coordinates. These coordinates are not exposed to user space."
+
+Here the registry is that global list; the simulation is single-OS so
+the spinlock reduces to ordinary mutation, but probe order, name ->
+coordinate resolution and the kernel/user visibility split are
+preserved: user-level code (the dataflow API) only ever names devices,
+and the executor resolves coordinates through this registry when it
+programs ``P2P_REG``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..soc import AcceleratorTile, LOCATION_REG, SoCInstance, decode_location
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EspDevice:
+    """One probed accelerator device (a node of the global list)."""
+
+    name: str
+    spec_name: str
+    coord: Coord
+    tile: AcceleratorTile
+
+    @property
+    def location(self) -> Coord:
+        """Coordinates as read back from the tile's LOCATION_REG."""
+        return decode_location(self.tile.regs.read(LOCATION_REG))
+
+
+class DeviceRegistry:
+    """The global accelerator list built at probe time."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, EspDevice] = {}
+        self._probe_order: List[str] = []
+
+    def probe(self, soc: SoCInstance) -> None:
+        """Discover every accelerator tile of the SoC (driver probe)."""
+        for name in sorted(soc.accelerators):
+            tile = soc.accelerators[name]
+            if name in self._devices:
+                raise ValueError(f"device {name!r} probed twice")
+            device = EspDevice(name=name, spec_name=tile.spec.name,
+                               coord=tile.coord, tile=tile)
+            if device.location != tile.coord:
+                raise RuntimeError(
+                    f"LOCATION_REG of {name!r} reads {device.location}, "
+                    f"tile is at {tile.coord}")
+            self._devices[name] = device
+            self._probe_order.append(name)
+
+    def by_name(self, name: str) -> EspDevice:
+        if name not in self._devices:
+            raise KeyError(f"no device named {name!r}; probed: "
+                           f"{self._probe_order}")
+        return self._devices[name]
+
+    def coords_for(self, name: str) -> Coord:
+        """Kernel-side name -> NoC coordinates resolution."""
+        return self.by_name(name).coord
+
+    def names(self) -> List[str]:
+        return list(self._probe_order)
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices

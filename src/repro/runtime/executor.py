@@ -1,0 +1,519 @@
+"""The runtime executor: dataflow -> running accelerator pipeline.
+
+This is the paper's contribution 3 (Sec. V): "a runtime system on top
+of Linux that takes this dataflow and translates it into a pipeline of
+accelerators that are dynamically configured, managed, and kept
+synchronized as they access shared data ... fully transparent to the
+application programmer."
+
+Execution modes (base/pipe/p2p are the bars of Fig. 7; ``custom``
+honours each edge's own transport):
+
+- ``base``: the accelerators are "invoked serially in a single-thread
+  application"; every invocation is one frame; all data through DRAM.
+- ``pipe``: "concurrent executions in a reconfigurable pipeline, as
+  the accelerators are invoked with a multi-threaded application (one
+  thread per accelerator)"; per-frame dependencies "enforced with
+  pthread primitives"; data still through DRAM.
+- ``p2p``: the same pipeline "adds the ESP4ML p2p communication":
+  one *streaming* invocation per accelerator covering all frames;
+  synchronization moves into hardware, software overhead drops to "the
+  ioctl system calls that are used to start the accelerators".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim import Counter
+from ..soc import (
+    CMD_REG,
+    CMD_START,
+    COHERENCE_LLC,
+    COHERENCE_NON_COHERENT,
+    COHERENCE_REG,
+    DVFS_REG,
+    DST_OFFSET_REG,
+    DST_STRIDE_REG,
+    N_FRAMES_REG,
+    P2PConfig,
+    P2P_REG,
+    SRC_OFFSET_REG,
+    SRC_STRIDE_REG,
+    SoCInstance,
+)
+from .alloc import Buffer, ContigAllocator
+from .dataflow import Dataflow, EXECUTION_MODES
+from .driver import DeviceRegistry, EspDevice
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Software overheads on the RISC-V core, in cycles at SoC clock.
+
+    ``completion`` selects how the driver observes accelerator
+    completion: ``"irq"`` sleeps on the interrupt (the paper's
+    drivers); ``"poll"`` spins on ``STATUS_REG`` over the IO plane
+    every ``poll_interval_cycles`` — cheaper per event but it burns CPU
+    cycles and NoC bandwidth, and adds up to one interval of completion
+    latency.
+    """
+
+    ioctl_cycles: int = 600          # syscall entry/exit + driver work
+    reg_write_cycles: int = 10       # uncached MMIO store issue
+    thread_spawn_cycles: int = 150   # pthread_create
+    sync_cycles: int = 40            # semaphore wait/post pair
+    completion: str = "irq"          # "irq" | "poll"
+    poll_interval_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        if self.completion not in ("irq", "poll"):
+            raise ValueError(
+                f"completion must be 'irq' or 'poll', got "
+                f"{self.completion!r}")
+        if self.poll_interval_cycles < 1:
+            raise ValueError("poll_interval_cycles must be >= 1")
+
+
+@dataclass
+class NodePlan:
+    """One device's role in the planned execution."""
+
+    device: EspDevice
+    level: int
+    index: int            # position among its level's siblings
+    siblings: int         # number of devices at this level
+    n_frames: int         # frames this instance processes
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def spec(self):
+        return self.device.tile.spec
+
+
+@dataclass
+class ExecutionPlan:
+    """Buffers and per-node assignments for one esp_run call."""
+
+    dataflow: Dataflow
+    mode: str
+    n_frames: int
+    levels: List[List[NodePlan]]
+    input_buffer: Buffer
+    output_buffer: Buffer
+    inter_buffers: List[Optional[Buffer]]   # one per level boundary
+    coherent: bool = False                  # LLC-coherent DMA
+    dvfs: Dict[str, int] = field(default_factory=dict)  # device -> divider
+
+    def node(self, name: str) -> NodePlan:
+        for level in self.levels:
+            for node in level:
+                if node.name == name:
+                    return node
+        raise KeyError(name)
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one esp_run call."""
+
+    dataflow: str
+    mode: str
+    frames: int
+    cycles: int
+    clock_mhz: float
+    dram_accesses: int
+    ioctl_calls: int
+    outputs: np.ndarray = field(repr=False)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.frames / self.seconds if self.seconds > 0 else 0.0
+
+    def frames_per_joule(self, watts: float) -> float:
+        if watts <= 0:
+            raise ValueError(f"watts must be > 0, got {watts}")
+        return self.frames_per_second / watts
+
+
+class DataflowExecutor:
+    """Plans and executes dataflows on a built SoC instance."""
+
+    def __init__(self, soc: SoCInstance, registry: DeviceRegistry,
+                 allocator: ContigAllocator,
+                 costs: Optional[RuntimeCosts] = None) -> None:
+        self.soc = soc
+        self.registry = registry
+        self.allocator = allocator
+        self.costs = costs or RuntimeCosts()
+        self.ioctl_calls = 0
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, dataflow: Dataflow, n_frames: int,
+             mode: str, coherent: bool = False,
+             dvfs: Optional[Dict[str, int]] = None) -> ExecutionPlan:
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+        if n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+        if mode == "p2p":
+            dataflow.validate_for_p2p()
+        elif mode == "custom":
+            dataflow.validate_for_custom()
+        else:
+            dataflow.validate()
+        dvfs = dict(dvfs or {})
+        for device, divider in dvfs.items():
+            if device not in dataflow.devices:
+                raise ValueError(
+                    f"DVFS divider given for {device!r}, which is not in "
+                    f"the dataflow")
+            if divider < 1:
+                raise ValueError(
+                    f"DVFS divider for {device!r} must be >= 1")
+
+        level_names = dataflow.levels()
+        levels: List[List[NodePlan]] = []
+        for level_idx, names in enumerate(level_names):
+            siblings = len(names)
+            if n_frames % siblings:
+                raise ValueError(
+                    f"{n_frames} frames do not split evenly over the "
+                    f"{siblings} devices of level {level_idx}")
+            row = []
+            for index, name in enumerate(names):
+                device = self.registry.by_name(name)
+                row.append(NodePlan(device=device, level=level_idx,
+                                    index=index, siblings=siblings,
+                                    n_frames=n_frames // siblings))
+            levels.append(row)
+
+        self._check_geometry(levels)
+
+        in_words = levels[0][0].spec.input_words
+        out_words = levels[-1][0].spec.output_words
+        input_buffer = self.allocator.alloc(n_frames * in_words,
+                                            label=f"{dataflow.name}:in")
+        output_buffer = self.allocator.alloc(n_frames * out_words,
+                                             label=f"{dataflow.name}:out")
+        inter_buffers: List[Optional[Buffer]] = []
+        for boundary in range(len(levels) - 1):
+            if mode == "p2p":
+                inter_buffers.append(None)   # data never touches DRAM
+            elif mode == "custom" and all(
+                    e.comm == "p2p" for e in dataflow.edges
+                    if e.dst in {n.name for n in levels[boundary + 1]}):
+                inter_buffers.append(None)   # every edge here is p2p
+            else:
+                words = levels[boundary][0].spec.output_words
+                inter_buffers.append(self.allocator.alloc(
+                    n_frames * words,
+                    label=f"{dataflow.name}:l{boundary}"))
+        return ExecutionPlan(dataflow=dataflow, mode=mode,
+                             n_frames=n_frames, levels=levels,
+                             input_buffer=input_buffer,
+                             output_buffer=output_buffer,
+                             inter_buffers=inter_buffers,
+                             coherent=coherent, dvfs=dvfs)
+
+    @staticmethod
+    def _check_geometry(levels: List[List[NodePlan]]) -> None:
+        for row in levels:
+            in_sizes = {n.spec.input_words for n in row}
+            out_sizes = {n.spec.output_words for n in row}
+            if len(in_sizes) > 1 or len(out_sizes) > 1:
+                raise ValueError(
+                    f"devices at level {row[0].level} disagree on frame "
+                    f"geometry: in={in_sizes}, out={out_sizes}")
+        for upper, lower in zip(levels, levels[1:]):
+            if upper[0].spec.output_words != lower[0].spec.input_words:
+                raise ValueError(
+                    f"level {upper[0].level} outputs "
+                    f"{upper[0].spec.output_words} words but level "
+                    f"{lower[0].level} expects "
+                    f"{lower[0].spec.input_words}")
+
+    # -- driver-level invocation --------------------------------------------
+
+    def _invoke(self, node: NodePlan, src_offset: int, dst_offset: int,
+                n_frames: int, p2p: P2PConfig, src_stride: int = 0,
+                dst_stride: int = 0, coherent: bool = False,
+                divider: int = 1):
+        """Configure the device over the NoC, start it, await its IRQ."""
+        env = self.soc.env
+        cpu = self.soc.cpu
+        coord = node.device.coord
+        self.ioctl_calls += 1
+        yield env.timeout(self.costs.ioctl_cycles)
+        writes = (
+            (SRC_OFFSET_REG, src_offset),
+            (DST_OFFSET_REG, dst_offset),
+            (SRC_STRIDE_REG, src_stride),
+            (DST_STRIDE_REG, dst_stride),
+            (N_FRAMES_REG, n_frames),
+            (P2P_REG, p2p.encode()),
+            (COHERENCE_REG,
+             COHERENCE_LLC if coherent else COHERENCE_NON_COHERENT),
+            (DVFS_REG, divider),
+            (CMD_REG, CMD_START),
+        )
+        for reg, value in writes:
+            yield env.timeout(self.costs.reg_write_cycles)
+            yield from cpu.write_reg(coord, reg, value)
+        if self.costs.completion == "poll":
+            from ..soc import STATUS_DONE, STATUS_REG
+            while True:
+                yield env.timeout(self.costs.poll_interval_cycles)
+                status = yield from cpu.read_reg(coord, STATUS_REG)
+                if status == STATUS_DONE:
+                    break
+            # Drain the (unmasked) completion interrupt.
+            yield from cpu.wait_irq(node.name)
+        else:
+            yield from cpu.wait_irq(node.name)
+
+    # -- address helpers -------------------------------------------------------
+
+    @staticmethod
+    def _frame_addr(buffer: Buffer, frame: int, words: int) -> int:
+        return buffer.offset + frame * words
+
+    def _src_buffer(self, plan: ExecutionPlan, level: int) -> Buffer:
+        return plan.input_buffer if level == 0 \
+            else plan.inter_buffers[level - 1]
+
+    def _dst_buffer(self, plan: ExecutionPlan, level: int) -> Buffer:
+        last = len(plan.levels) - 1
+        return plan.output_buffer if level == last \
+            else plan.inter_buffers[level]
+
+    # -- base mode ----------------------------------------------------------------
+
+    def _base_main(self, plan: ExecutionPlan):
+        no_p2p = P2PConfig()
+        for frame in range(plan.n_frames):
+            for level_idx, row in enumerate(plan.levels):
+                node = row[frame % len(row)]
+                spec = node.spec
+                src = self._frame_addr(self._src_buffer(plan, level_idx),
+                                       frame, spec.input_words)
+                dst = self._frame_addr(self._dst_buffer(plan, level_idx),
+                                       frame, spec.output_words)
+                yield from self._invoke(
+                    node, src, dst, 1, no_p2p, coherent=plan.coherent,
+                    divider=plan.dvfs.get(node.name, 1))
+
+    # -- pipe mode -----------------------------------------------------------------
+
+    def _pipe_thread(self, plan: ExecutionPlan, node: NodePlan,
+                     counters: Dict[str, Counter]):
+        env = self.soc.env
+        no_p2p = P2PConfig()
+        spec = node.spec
+        for local in range(node.n_frames):
+            frame = node.index + local * node.siblings
+            if node.level > 0:
+                producers = plan.levels[node.level - 1]
+                producer = producers[frame % len(producers)]
+                needed = (frame - producer.index) // producer.siblings + 1
+                yield env.timeout(self.costs.sync_cycles)
+                yield counters[producer.name].wait_until(needed)
+            src = self._frame_addr(self._src_buffer(plan, node.level),
+                                   frame, spec.input_words)
+            dst = self._frame_addr(self._dst_buffer(plan, node.level),
+                                   frame, spec.output_words)
+            yield from self._invoke(
+                node, src, dst, 1, no_p2p, coherent=plan.coherent,
+                divider=plan.dvfs.get(node.name, 1))
+            counters[node.name].increment()
+
+    def _pipe_main(self, plan: ExecutionPlan):
+        env = self.soc.env
+        counters = {node.name: Counter(env, name=f"done:{node.name}")
+                    for row in plan.levels for node in row}
+        threads = []
+        for row in plan.levels:
+            for node in row:
+                yield env.timeout(self.costs.thread_spawn_cycles)
+                threads.append(env.process(
+                    self._pipe_thread(plan, node, counters)))
+        yield env.all_of(threads)
+
+    # -- custom mode (per-edge communication) --------------------------------------
+
+    def _custom_thread(self, plan: ExecutionPlan, node: NodePlan,
+                       counters: Dict[str, Counter]):
+        """Per-frame invocations with each edge's own transport.
+
+        DMA edges synchronize in software (like ``pipe``); p2p edges
+        rely on the hardware handshake and reprogram ``P2P_REG`` every
+        invocation with that frame's single source — the "dynamically
+        configured" per-invocation choice of Sec. V.
+        """
+        env = self.soc.env
+        dataflow = plan.dataflow
+        spec = node.spec
+        last = len(plan.levels) - 1
+        for local in range(node.n_frames):
+            frame = node.index + local * node.siblings
+            load_p2p = False
+            sources: Tuple[Tuple[int, int], ...] = ()
+            src = dst = 0
+            if node.level > 0:
+                producers = plan.levels[node.level - 1]
+                producer = producers[frame % len(producers)]
+                edge = dataflow.edge_between(producer.name, node.name)
+                if edge.comm == "p2p":
+                    load_p2p = True
+                    sources = (producer.device.coord,)
+                else:
+                    needed = (frame - producer.index) \
+                        // producer.siblings + 1
+                    yield env.timeout(self.costs.sync_cycles)
+                    yield counters[producer.name].wait_until(needed)
+                    src = self._frame_addr(
+                        plan.inter_buffers[node.level - 1], frame,
+                        spec.input_words)
+            else:
+                src = self._frame_addr(plan.input_buffer, frame,
+                                       spec.input_words)
+
+            store_p2p = False
+            if node.level < last:
+                consumers = plan.levels[node.level + 1]
+                consumer = consumers[frame % len(consumers)]
+                edge = dataflow.edge_between(node.name, consumer.name)
+                if edge.comm == "p2p":
+                    store_p2p = True
+                else:
+                    dst = self._frame_addr(
+                        plan.inter_buffers[node.level], frame,
+                        spec.output_words)
+            else:
+                dst = self._frame_addr(plan.output_buffer, frame,
+                                       spec.output_words)
+
+            p2p = P2PConfig(store_enabled=store_p2p,
+                            load_enabled=load_p2p, sources=sources)
+            yield from self._invoke(
+                node, src, dst, 1, p2p, coherent=plan.coherent,
+                divider=plan.dvfs.get(node.name, 1))
+            counters[node.name].increment()
+
+    def _custom_main(self, plan: ExecutionPlan):
+        env = self.soc.env
+        counters = {node.name: Counter(env, name=f"done:{node.name}")
+                    for row in plan.levels for node in row}
+        threads = []
+        for row in plan.levels:
+            for node in row:
+                yield env.timeout(self.costs.thread_spawn_cycles)
+                threads.append(env.process(
+                    self._custom_thread(plan, node, counters)))
+        yield env.all_of(threads)
+
+    # -- p2p mode ------------------------------------------------------------------
+
+    def _p2p_thread(self, plan: ExecutionPlan, node: NodePlan):
+        spec = node.spec
+        last = len(plan.levels) - 1
+        load_p2p = node.level > 0
+        store_p2p = node.level < last
+
+        src_offset = src_stride = 0
+        if not load_p2p:
+            src_offset = plan.input_buffer.offset \
+                + node.index * spec.input_words
+            src_stride = node.siblings * spec.input_words
+        dst_offset = dst_stride = 0
+        if not store_p2p:
+            dst_offset = plan.output_buffer.offset \
+                + node.index * spec.output_words
+            dst_stride = node.siblings * spec.output_words
+
+        sources: Tuple[Tuple[int, int], ...] = ()
+        if load_p2p:
+            rotation = plan.dataflow.source_rotation(node.name)
+            sources = tuple(self.registry.coords_for(name)
+                            for name in rotation)
+        p2p = P2PConfig(store_enabled=store_p2p, load_enabled=load_p2p,
+                        sources=sources)
+        yield from self._invoke(node, src_offset, dst_offset,
+                                node.n_frames, p2p,
+                                src_stride=src_stride,
+                                dst_stride=dst_stride,
+                                coherent=plan.coherent,
+                                divider=plan.dvfs.get(node.name, 1))
+
+    def _p2p_main(self, plan: ExecutionPlan):
+        env = self.soc.env
+        threads = []
+        for row in plan.levels:
+            for node in row:
+                yield env.timeout(self.costs.thread_spawn_cycles)
+                threads.append(env.process(self._p2p_thread(plan, node)))
+        yield env.all_of(threads)
+
+    # -- entry point --------------------------------------------------------------------
+
+    def execute(self, dataflow: Dataflow, frames: np.ndarray,
+                mode: str, coherent: bool = False,
+                dvfs: Optional[Dict[str, int]] = None) -> RunResult:
+        """Run the dataflow over ``frames`` (N x input_words).
+
+        ``coherent`` selects LLC-coherent DMA for every transaction of
+        the run (requires a memory tile with an LLC; without one the
+        flag silently behaves like non-coherent DMA, as in ESP where
+        the fabric downgrades unsupported coherence requests).
+        """
+        frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+        plan = self.plan(dataflow, len(frames), mode, coherent=coherent,
+                         dvfs=dvfs)
+        in_words = plan.levels[0][0].spec.input_words
+        if frames.shape[1] != in_words:
+            raise ValueError(
+                f"input frames have {frames.shape[1]} words; level-0 "
+                f"devices expect {in_words}")
+        plan.input_buffer.write(frames.reshape(-1))
+
+        env = self.soc.env
+        dram_before = self.soc.memory_map.total_accesses
+        ioctl_before = self.ioctl_calls
+        start = env.now
+        mains = {"base": self._base_main, "pipe": self._pipe_main,
+                 "p2p": self._p2p_main, "custom": self._custom_main}
+        done = env.process(mains[mode](plan))
+        env.run(until=done)
+        cycles = env.now - start
+        # Drain the schedule: stores are posted, so the final write may
+        # still be in the memory tile's request queue when the IRQ
+        # lands. Dependent DMA traffic is ordered by that queue, but the
+        # CPU-side result read below bypasses it, so quiesce first. The
+        # tail is a few service cycles and is excluded from the timing.
+        env.run()
+
+        out_words = plan.levels[-1][0].spec.output_words
+        outputs = plan.output_buffer.read().reshape(plan.n_frames,
+                                                    out_words)
+        return RunResult(
+            dataflow=dataflow.name,
+            mode=mode,
+            frames=plan.n_frames,
+            cycles=cycles,
+            clock_mhz=self.soc.clock_mhz,
+            dram_accesses=self.soc.memory_map.total_accesses - dram_before,
+            ioctl_calls=self.ioctl_calls - ioctl_before,
+            outputs=outputs,
+        )

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate for the ESP4ML reproduction."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .channels import Barrier, Counter, Fifo, Resource, Semaphore
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Condition",
+    "Counter",
+    "Environment",
+    "Event",
+    "Fifo",
+    "Process",
+    "Resource",
+    "Semaphore",
+    "SimulationError",
+    "Timeout",
+]

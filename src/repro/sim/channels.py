@@ -1,0 +1,262 @@
+"""Blocking channels and resources on top of the simulation kernel.
+
+These model the hardware queues of the ESP platform: the shallow FIFOs
+in the accelerator wrapper, the NoC input/output queues, and exclusive
+resources such as a DMA engine or a NoC link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .kernel import Environment, Event, SimulationError
+
+
+class Fifo:
+    """A bounded FIFO with blocking put/get, like a hardware queue.
+
+    ``capacity`` of ``None`` means unbounded (used for software-side
+    queues where backpressure is modelled elsewhere).
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None,
+                 name: str = "fifo") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[tuple] = deque()   # (event, item)
+        self._getters: Deque[Event] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; the returned event triggers when accepted."""
+        event = Event(self.env)
+        if not self.is_full and not self._putters:
+            self._accept(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Dequeue one item; the returned event triggers with the item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self.total_gets += 1
+            self._drain_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the queue is full."""
+        if self.is_full:
+            return False
+        self._accept(item)
+        return True
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when the queue is empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self.total_gets += 1
+        self._drain_putters()
+        return item
+
+    def _accept(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_gets += 1
+        else:
+            self.items.append(item)
+
+    def _drain_putters(self) -> None:
+        while self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self._accept(item)
+            event.succeed()
+
+
+class Resource:
+    """An exclusive resource with ``slots`` concurrent holders.
+
+    Used for NoC links (1 slot per plane direction) and DMA engines.
+    """
+
+    def __init__(self, env: Environment, slots: int = 1,
+                 name: str = "resource",
+                 record_history: bool = False) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.env = env
+        self.slots = slots
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Utilization accounting.
+        self._busy_since: Optional[int] = None
+        self.busy_cycles = 0
+        self.total_acquisitions = 0
+        # Optional occupancy trace: (time, in_use) transitions, for
+        # waveform export.
+        self.record_history = record_history
+        self.history: List[tuple] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Request a slot; the event triggers when the slot is granted."""
+        event = Event(self.env)
+        if self._in_use < self.slots:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a previously granted slot."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_cycles += self.env.now - self._busy_since
+            self._busy_since = None
+        if self.record_history:
+            self.history.append((self.env.now, self._in_use))
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, event: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.env.now
+        self._in_use += 1
+        self.total_acquisitions += 1
+        if self.record_history:
+            self.history.append((self.env.now, self._in_use))
+        event.succeed()
+
+    def utilization(self, elapsed: Optional[int] = None) -> float:
+        """Fraction of time the resource was held at least once."""
+        busy = self.busy_cycles
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        span = elapsed if elapsed is not None else self.env.now
+        return busy / span if span > 0 else 0.0
+
+
+class Semaphore:
+    """A counting semaphore for producer/consumer synchronization."""
+
+    def __init__(self, env: Environment, value: int = 0,
+                 name: str = "semaphore") -> None:
+        if value < 0:
+            raise ValueError(f"initial value must be >= 0, got {value}")
+        self.env = env
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def post(self, count: int = 1) -> None:
+        """Increment, waking waiters in FIFO order."""
+        for _ in range(count):
+            if self._waiters:
+                self._waiters.popleft().succeed()
+            else:
+                self._value += 1
+
+    def wait(self) -> Event:
+        """Decrement; the event triggers once the count allows it."""
+        event = Event(self.env)
+        if self._value > 0:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
+class Counter:
+    """A monotonically increasing counter with threshold waits.
+
+    Models "frames completed" progress that consumers wait on
+    (pthread-condition style): ``wait_until(n)`` triggers once the
+    counter reaches ``n``.
+    """
+
+    def __init__(self, env: Environment, value: int = 0,
+                 name: str = "counter") -> None:
+        self.env = env
+        self.name = name
+        self._value = value
+        self._waiters: List[tuple] = []   # (threshold, event)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, by: int = 1) -> None:
+        if by < 1:
+            raise ValueError(f"increment must be >= 1, got {by}")
+        self._value += by
+        ready = [w for w in self._waiters if w[0] <= self._value]
+        self._waiters = [w for w in self._waiters if w[0] > self._value]
+        for _, event in ready:
+            event.succeed(self._value)
+
+    def wait_until(self, threshold: int) -> Event:
+        event = Event(self.env)
+        if self._value >= threshold:
+            event.succeed(self._value)
+        else:
+            self._waiters.append((threshold, event))
+        return event
+
+
+class Barrier:
+    """A reusable barrier for ``parties`` processes (pthread_barrier)."""
+
+    def __init__(self, env: Environment, parties: int) -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self._waiting: List[Event] = []
+
+    def wait(self) -> Event:
+        event = Event(self.env)
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            waiting, self._waiting = self._waiting, []
+            for waiter in waiting:
+                waiter.succeed()
+        return event

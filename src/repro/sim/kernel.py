@@ -1,0 +1,310 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate under the whole ESP4ML reproduction: the NoC, the
+tile sockets, the DMA engines and the software runtime all run as
+coroutine processes scheduled by an :class:`Environment`.
+
+The design follows the classic event-queue/coroutine pattern (as in
+SimPy): a *process* is a generator that yields :class:`Event` objects;
+when a yielded event triggers, the process resumes with the event's
+value. Time is an integer cycle count, which matches the hardware
+semantics of the simulated SoC (one unit == one clock cycle).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, is *triggered* with a value (or an
+    exception) exactly once, and then has its callbacks run by the
+    environment. Processes wait on events by yielding them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the event failed with an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("value of a pending event is not available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running coroutine; also an event that triggers on completion.
+
+    The wrapped generator yields events. The process resumes when the
+    yielded event triggers; a failed event raises inside the generator
+    (and aborts the process if unhandled). The generator's return value
+    becomes the process event's value.
+    """
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        init = Event(env)
+        init._value = None
+        env._schedule(init)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    # The generator gets a chance to handle the failure;
+                    # receiving it here defuses the original event so the
+                    # kernel does not crash on it a second time.
+                    event.__sim_defused__ = True  # type: ignore[attr-defined]
+                    target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.env._active_proc = None
+                self.succeed(getattr(stop, "value", None))
+                return
+            except BaseException as exc:
+                # The process dies; waiters (if any) observe the failure
+                # through this process event. If nobody defuses it, the
+                # exception surfaces from Environment.step().
+                self.env._active_proc = None
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_proc = None
+                raise SimulationError(
+                    f"process yielded a non-event: {target!r}")
+            if target.processed:
+                # Already done: loop and resume immediately.
+                event = target
+                continue
+            self._target = target
+            target.callbacks.append(self._resume)
+            self.env._active_proc = None
+            return
+
+
+class Condition(Event):
+    """Composite event over several sub-events (all-of / any-of)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[List[Event], int], bool]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.__sim_defused__ = True  # type: ignore[attr-defined]
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed({e: e.value for e in self._events if e.processed})
+
+
+class AllOf(Condition):
+    """Triggers once every sub-event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda evs, count: count >= len(evs))
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any sub-event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda evs, count: count >= 1)
+
+
+class Environment:
+    """Execution environment: event queue plus the simulation clock."""
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now = initial_time
+        self._queue: List = []
+        self._eid = itertools.count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time (clock cycles)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling / running --------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not getattr(event, "__sim_defused__", False):
+            exc = event.value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain), an integer time, or an
+        :class:`Event` whose value is returned when it triggers.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[int] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation
+
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            stop_time = int(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if stop_time is not None and self.peek() > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run(until=event) drained the schedule before the event "
+                "triggered")
+        if stop_time is not None:
+            self._now = stop_time
+        return None

@@ -1,0 +1,103 @@
+"""The ESP SoC architecture: tiles, sockets, DMA, p2p and generation."""
+
+from .registers import (
+    CMD_REG,
+    CMD_START,
+    COHERENCE_LLC,
+    COHERENCE_NON_COHERENT,
+    COHERENCE_REG,
+    DVFS_REG,
+    DST_OFFSET_REG,
+    MAX_DVFS_DIVIDER,
+    LOCATION_REG,
+    MAX_P2P_SOURCES,
+    P2P_REG,
+    P2PConfig,
+    DST_STRIDE_REG,
+    RegisterFile,
+    SRC_OFFSET_REG,
+    SRC_STRIDE_REG,
+    STATUS_DONE,
+    STATUS_IDLE,
+    STATUS_REG,
+    STATUS_RUNNING,
+    decode_location,
+    encode_location,
+)
+from .tlb import Tlb
+from .llc import LastLevelCache
+from .memory import DmaRequest, MemoryMap, MemoryTile
+from .dma import DmaEngine, P2PLoadRequest, P2P_QUEUE_DEPTH
+from .wrapper import (InvocationConfig, InvocationResult,
+                      wrapper_process, wrapper_process_double_buffered)
+from .accelerator import (AcceleratorTile, N_FRAMES_REG, RegRead,
+                          RegReadReply, RegWrite)
+from .processor import AuxTile, ProcessorTile
+from .config import SoCConfig, TileConfig, TILE_KINDS
+from .soc_builder import SoCInstance, TILE_OVERHEAD, build_soc
+from .devtree import DeviceNode, devices_from_config, emit_dts
+from .monitors import (
+    AcceleratorCounters,
+    MemoryCounters,
+    MonitorReport,
+    read_monitors,
+)
+from .vcd import emit_vcd
+
+__all__ = [
+    "AcceleratorCounters",
+    "AcceleratorTile",
+    "AuxTile",
+    "CMD_REG",
+    "CMD_START",
+    "COHERENCE_LLC",
+    "COHERENCE_NON_COHERENT",
+    "COHERENCE_REG",
+    "DVFS_REG",
+    "DST_OFFSET_REG",
+    "DST_STRIDE_REG",
+    "DeviceNode",
+    "DmaEngine",
+    "DmaRequest",
+    "InvocationConfig",
+    "InvocationResult",
+    "LastLevelCache",
+    "LOCATION_REG",
+    "MAX_DVFS_DIVIDER",
+    "MAX_P2P_SOURCES",
+    "MemoryCounters",
+    "MemoryMap",
+    "MemoryTile",
+    "MonitorReport",
+    "N_FRAMES_REG",
+    "P2PConfig",
+    "P2PLoadRequest",
+    "P2P_QUEUE_DEPTH",
+    "P2P_REG",
+    "ProcessorTile",
+    "RegRead",
+    "RegReadReply",
+    "RegWrite",
+    "RegisterFile",
+    "SRC_OFFSET_REG",
+    "SRC_STRIDE_REG",
+    "STATUS_DONE",
+    "STATUS_IDLE",
+    "STATUS_REG",
+    "STATUS_RUNNING",
+    "SoCConfig",
+    "SoCInstance",
+    "TILE_KINDS",
+    "TILE_OVERHEAD",
+    "TileConfig",
+    "Tlb",
+    "build_soc",
+    "decode_location",
+    "read_monitors",
+    "devices_from_config",
+    "emit_dts",
+    "emit_vcd",
+    "encode_location",
+    "wrapper_process",
+    "wrapper_process_double_buffered",
+]

@@ -1,0 +1,188 @@
+"""The accelerator tile: ESP socket around a synthesized kernel.
+
+The socket (paper Fig. 2) provides the platform services the kernel
+needs: configuration registers (written by the Linux driver over the
+NoC), a DMA engine with TLB, private local memory, interrupt-request
+logic, and — new in ESP4ML — the p2p communication service.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..accelerators.base import AcceleratorSpec
+from ..noc import IO_PLANE, Mesh2D, MessageKind, Packet
+from ..sim import Environment, Semaphore
+from .dma import DmaEngine
+from .memory import MemoryMap
+from .registers import (
+    CMD_REG,
+    CMD_START,
+    COHERENCE_LLC,
+    COHERENCE_REG,
+    DVFS_REG,
+    DST_OFFSET_REG,
+    MAX_DVFS_DIVIDER,
+    DST_STRIDE_REG,
+    RegisterFile,
+    SRC_OFFSET_REG,
+    SRC_STRIDE_REG,
+    STATUS_DONE,
+    STATUS_IDLE,
+    STATUS_RUNNING,
+)
+from .tlb import Tlb
+from .wrapper import (InvocationConfig, InvocationResult,
+                      wrapper_process, wrapper_process_double_buffered)
+
+Coord = Tuple[int, int]
+
+#: Register holding the number of frames of the current invocation
+#: (the ``conf_size`` of Fig. 4, in frame units).
+N_FRAMES_REG = "N_FRAMES_REG"
+
+
+class RegWrite:
+    """Payload of a REG_ACCESS packet (driver -> accelerator tile)."""
+
+    def __init__(self, name: str, value: int) -> None:
+        self.name = name
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"RegWrite({self.name}={self.value})"
+
+
+class RegRead:
+    """Payload of a REG_ACCESS read request (driver -> tile)."""
+
+    def __init__(self, name: str, reply_to: Coord, tag: str) -> None:
+        self.name = name
+        self.reply_to = reply_to
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"RegRead({self.name})"
+
+
+class RegReadReply:
+    """Payload of a REG_ACCESS read response (tile -> driver)."""
+
+    def __init__(self, name: str, value: int, tag: str) -> None:
+        self.name = name
+        self.value = value
+        self.tag = tag
+
+
+class AcceleratorTile:
+    """One accelerator tile: socket + wrapper + kernel."""
+
+    def __init__(self, env: Environment, mesh: Mesh2D, coord: Coord,
+                 spec: AcceleratorSpec, memory_map: MemoryMap,
+                 device_name: str, irq_dst: Coord,
+                 tlb: Optional[Tlb] = None) -> None:
+        self.env = env
+        self.mesh = mesh
+        self.coord = coord
+        self.spec = spec
+        self.device_name = device_name
+        self.irq_dst = irq_dst
+        self.regs = RegisterFile(
+            coord, user_registers=[N_FRAMES_REG, *spec.user_registers])
+        self.dma = DmaEngine(env, mesh, coord, memory_map, tlb=tlb,
+                             word_bits=spec.word_bits,
+                             max_burst_words=max(spec.input_words,
+                                                 spec.output_words))
+        self._start = Semaphore(env, name=f"start:{device_name}")
+        self.regs.on_write(self._on_reg_write)
+
+        # Accounting.
+        self.invocations: List[InvocationResult] = []
+        self.frames_processed = 0
+        self.busy_cycles = 0
+
+        env.process(self._io_server())
+        env.process(self._run_loop())
+
+    # -- NoC-facing ----------------------------------------------------------
+
+    def _io_server(self):
+        """Serve register accesses arriving on the IO plane."""
+        inbox = self.mesh.inbox(self.coord, IO_PLANE)
+        while True:
+            packet = yield inbox.get()
+            access = packet.payload
+            if isinstance(access, RegWrite):
+                self.regs.write(access.name, access.value)
+            elif isinstance(access, RegRead):
+                self.mesh.send(Packet(
+                    src=self.coord, dst=access.reply_to, plane=IO_PLANE,
+                    kind=MessageKind.REG_ACCESS, payload_flits=1,
+                    payload=RegReadReply(access.name,
+                                         self.regs.read(access.name),
+                                         access.tag),
+                    tag=access.tag))
+            else:
+                raise TypeError(
+                    f"tile {self.coord} got unexpected IO payload "
+                    f"{access!r}")
+
+    def _on_reg_write(self, name: str, value: int) -> None:
+        if name == CMD_REG and value == CMD_START:
+            self._start.post()
+
+    def _raise_irq(self) -> None:
+        self.mesh.send(Packet(
+            src=self.coord, dst=self.irq_dst, plane=IO_PLANE,
+            kind=MessageKind.IRQ, payload_flits=0,
+            payload=self.device_name, tag=self.device_name))
+
+    # -- execution -------------------------------------------------------------
+
+    def _snapshot_config(self) -> InvocationConfig:
+        return InvocationConfig(
+            src_offset=self.regs.read(SRC_OFFSET_REG),
+            dst_offset=self.regs.read(DST_OFFSET_REG),
+            n_frames=max(1, self.regs.read(N_FRAMES_REG)),
+            p2p=self.regs.p2p_config(),
+            src_stride=self.regs.read(SRC_STRIDE_REG),
+            dst_stride=self.regs.read(DST_STRIDE_REG),
+            coherent=self.regs.read(COHERENCE_REG) == COHERENCE_LLC,
+            clock_divider=min(MAX_DVFS_DIVIDER,
+                              max(1, self.regs.read(DVFS_REG))),
+        )
+
+    def _run_loop(self):
+        """Idle -> start command -> wrapper run -> IRQ, forever."""
+        while True:
+            yield self._start.wait()
+            self.regs._values[CMD_REG] = 0
+            self.regs._values["STATUS_REG"] = STATUS_RUNNING
+            config = self._snapshot_config()
+            wrapper = wrapper_process_double_buffered \
+                if self.spec.double_buffered else wrapper_process
+            result = yield self.env.process(wrapper(
+                self.env, self.spec, self.dma, config))
+            self.invocations.append(result)
+            self.frames_processed += result.frames
+            self.busy_cycles += result.cycles
+            self.regs._values["STATUS_REG"] = STATUS_DONE
+            self._raise_irq()
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def status(self) -> int:
+        return self.regs.read("STATUS_REG")
+
+    @property
+    def is_idle(self) -> bool:
+        return self.status in (STATUS_IDLE, STATUS_DONE)
+
+    def utilization(self, elapsed: Optional[int] = None) -> float:
+        span = elapsed if elapsed is not None else self.env.now
+        return self.busy_cycles / span if span else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<AcceleratorTile {self.device_name!r} at {self.coord} "
+                f"spec={self.spec.name!r}>")

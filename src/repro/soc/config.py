@@ -1,0 +1,138 @@
+"""SoC configuration: the ``.esp_config`` of the ESP GUI flow.
+
+The ESP graphic configuration interface lets the designer pick a mesh
+size and assign each tile a role (processor, memory, accelerator,
+auxiliary, empty). This module is the programmatic equivalent: a
+validated floorplan description that the SoC builder turns into a
+runnable instance ("bitstream").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..accelerators.base import AcceleratorSpec
+
+Coord = Tuple[int, int]
+
+TILE_KINDS = ("cpu", "mem", "acc", "aux", "empty")
+
+
+@dataclass
+class TileConfig:
+    """One slot of the floorplan grid."""
+
+    kind: str
+    name: Optional[str] = None
+    spec: Optional[AcceleratorSpec] = None
+    mem_size_words: int = 1 << 22
+    llc_words: int = 0          # >0: memory tile hosts an LLC
+
+    def __post_init__(self) -> None:
+        if self.kind not in TILE_KINDS:
+            raise ValueError(
+                f"tile kind must be one of {TILE_KINDS}, got {self.kind!r}")
+        if self.kind == "acc":
+            if self.spec is None:
+                raise ValueError("accelerator tiles need a spec")
+            if not self.name:
+                raise ValueError("accelerator tiles need a device name")
+        elif self.spec is not None:
+            raise ValueError(f"{self.kind!r} tiles cannot carry a spec")
+
+
+@dataclass
+class SoCConfig:
+    """A complete SoC floorplan plus global parameters."""
+
+    cols: int
+    rows: int
+    name: str = "esp-soc"
+    clock_mhz: float = 78.0
+    tiles: Dict[Coord, TileConfig] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("grid must be at least 1x1")
+        if self.cols > 16 or self.rows > 16:
+            raise ValueError("P2P_REG coordinate fields limit the mesh "
+                             "to 16x16")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be > 0")
+
+    # -- floorplan editing ----------------------------------------------------
+
+    def _place(self, coord: Coord, tile: TileConfig) -> None:
+        x, y = coord
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(f"{coord} outside the {self.cols}x{self.rows} "
+                             f"grid")
+        if coord in self.tiles:
+            raise ValueError(f"tile {coord} already assigned "
+                             f"({self.tiles[coord].kind})")
+        self.tiles[coord] = tile
+
+    def add_cpu(self, coord: Coord, name: str = "cpu") -> None:
+        self._place(coord, TileConfig(kind="cpu", name=name))
+
+    def add_memory(self, coord: Coord, size_words: int = 1 << 22,
+                   llc_words: int = 0) -> None:
+        """Place a memory tile; ``llc_words`` > 0 adds a last-level
+        cache for LLC-coherent DMA."""
+        self._place(coord, TileConfig(kind="mem", name="mem",
+                                      mem_size_words=size_words,
+                                      llc_words=llc_words))
+
+    def add_aux(self, coord: Coord) -> None:
+        self._place(coord, TileConfig(kind="aux", name="aux"))
+
+    def add_accelerator(self, coord: Coord, name: str,
+                        spec: AcceleratorSpec) -> None:
+        for existing in self.tiles.values():
+            if existing.kind == "acc" and existing.name == name:
+                raise ValueError(f"device name {name!r} already used")
+        self._place(coord, TileConfig(kind="acc", name=name, spec=spec))
+
+    def next_free(self) -> Coord:
+        """First unassigned slot in row-major order."""
+        for y in range(self.rows):
+            for x in range(self.cols):
+                if (x, y) not in self.tiles:
+                    return (x, y)
+        raise ValueError("floorplan is full")
+
+    # -- queries ---------------------------------------------------------------
+
+    def tiles_of_kind(self, kind: str) -> List[Tuple[Coord, TileConfig]]:
+        return sorted(((c, t) for c, t in self.tiles.items()
+                       if t.kind == kind),
+                      key=lambda item: (item[0][1], item[0][0]))
+
+    def accelerator_names(self) -> List[str]:
+        return [t.name for _, t in self.tiles_of_kind("acc")]
+
+    def validate(self) -> None:
+        """Check the invariants the ESP GUI enforces before generation."""
+        if not self.tiles_of_kind("cpu"):
+            raise ValueError("SoC needs at least one processor tile")
+        if not self.tiles_of_kind("mem"):
+            raise ValueError("SoC needs at least one memory tile")
+        names = self.accelerator_names()
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate accelerator device names")
+
+    def floorplan_text(self) -> str:
+        """ASCII rendering of the grid (the GUI's tile map)."""
+        rows = []
+        for y in range(self.rows):
+            cells = []
+            for x in range(self.cols):
+                tile = self.tiles.get((x, y))
+                if tile is None:
+                    cells.append("· empty ·".center(12))
+                else:
+                    label = tile.name or tile.kind
+                    cells.append(f"{tile.kind}:{label}"[:12].center(12))
+            rows.append("|" + "|".join(cells) + "|")
+        return "\n".join(rows)

@@ -1,0 +1,74 @@
+"""Device-tree generation (the ``devtree.dtb`` of Fig. 3).
+
+The ESP flow emits a device tree so the Linux kernel running on the
+Ariane core can probe every accelerator. We generate the equivalent
+source text (DTS); the runtime's driver layer consumes the same
+information programmatically via :func:`devices_from_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .config import SoCConfig
+
+Coord = Tuple[int, int]
+
+#: Base of the memory-mapped accelerator register space and stride per
+#: tile (matches ESP's CSR addressing scheme in spirit).
+APB_BASE = 0x6000_0000
+APB_STRIDE = 0x0000_1000
+
+
+@dataclass(frozen=True)
+class DeviceNode:
+    """One accelerator entry of the device tree."""
+
+    name: str
+    spec_name: str
+    coord: Coord
+    reg_base: int
+    irq: int
+
+
+def devices_from_config(config: SoCConfig) -> List[DeviceNode]:
+    """Enumerate accelerator devices in probe order (row-major)."""
+    nodes = []
+    for index, (coord, tile) in enumerate(config.tiles_of_kind("acc")):
+        nodes.append(DeviceNode(
+            name=tile.name,
+            spec_name=tile.spec.name,
+            coord=coord,
+            reg_base=APB_BASE + index * APB_STRIDE,
+            irq=index + 1,
+        ))
+    return nodes
+
+
+def emit_dts(config: SoCConfig) -> str:
+    """Render the device-tree source for the SoC."""
+    lines = [
+        "/dts-v1/;",
+        "/ {",
+        f'    model = "{config.name}";',
+        '    compatible = "columbia,esp";',
+        "    soc {",
+        f"        noc: mesh@{config.cols}x{config.rows} {{",
+        f'            compatible = "esp,noc-2dmesh";',
+        f"            columns = <{config.cols}>;",
+        f"            rows = <{config.rows}>;",
+        "        };",
+    ]
+    for node in devices_from_config(config):
+        x, y = node.coord
+        lines.extend([
+            f"        {node.name}@{node.reg_base:08x} {{",
+            f'            compatible = "esp,{node.spec_name}";',
+            f"            reg = <0x{node.reg_base:08x} 0x{APB_STRIDE:x}>;",
+            f"            interrupts = <{node.irq}>;",
+            f"            esp,noc-coords = <{x} {y}>;",
+            "        };",
+        ])
+    lines.extend(["    };", "};", ""])
+    return "\n".join(lines)

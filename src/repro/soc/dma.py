@@ -1,0 +1,271 @@
+"""Accelerator-tile DMA engine with the ESP4ML p2p extension.
+
+Regular DMA (paper Sec. II): load/store transactions travel to the
+memory tile on the dma-req plane; load data returns on the dma-rsp
+plane. The two planes are decoupled to prevent deadlock.
+
+The p2p service (paper Sec. IV) remaps those transactions onto
+tile-to-tile transfers *reusing the same two planes* and the queues
+that are otherwise idle during regular DMA:
+
+- all p2p transactions are **on-demand**: the receiver sends a p2p load
+  request (dma-req plane) to the source tile; the sender holds produced
+  data in an otherwise-unused shallow queue and only forwards it
+  (dma-rsp plane) when a request arrives;
+- the receiver "will only request data when it has enough space to
+  store it locally", which guarantees the consumption assumption: long
+  packets never stall in the NoC waiting for a busy consumer;
+- a receiver may gather from 1 to 4 source tiles (``P2P_REG``); loads
+  round-robin across them.
+
+This is all transparent to the accelerator kernel: the wrapper calls
+``load``/``store`` the same way in both modes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..fixed import words_to_flits
+from ..noc import (
+    DMA_REQUEST_PLANE,
+    DMA_RESPONSE_PLANE,
+    Mesh2D,
+    MessageKind,
+    Packet,
+)
+from ..sim import Environment, Fifo
+from .memory import DmaRequest, MemoryMap
+from .registers import P2PConfig
+from .tlb import Tlb
+
+Coord = Tuple[int, int]
+
+#: Depth of the reused p2p store queue (shallow, per the paper: "we
+#: carefully reused available queues in the ESP accelerator tile").
+P2P_QUEUE_DEPTH = 2
+
+
+@dataclass
+class P2PLoadRequest:
+    """Payload of a P2P_REQ packet (receiver -> sender tile)."""
+
+    words: int
+    word_bits: int
+    reply_to: Coord
+    tag: str
+
+
+class DmaEngine:
+    """The DMA controller inside one accelerator socket."""
+
+    def __init__(self, env: Environment, mesh: Mesh2D, coord: Coord,
+                 memory_map: MemoryMap, tlb: Optional[Tlb] = None,
+                 word_bits: int = 16, max_burst_words: int = 1024) -> None:
+        if max_burst_words < 1:
+            raise ValueError("max_burst_words must be >= 1")
+        self.env = env
+        self.mesh = mesh
+        self.coord = coord
+        self.memory_map = memory_map
+        self.tlb = tlb or Tlb()
+        self.word_bits = word_bits
+        self.max_burst_words = max_burst_words
+
+        self._tag_counter = itertools.count()
+        self._responses: Dict[str, Fifo] = {}
+        self._p2p_round_robin = 0
+
+        # p2p sender side: produced chunks wait here, on demand.
+        self._p2p_store_queue = Fifo(env, capacity=P2P_QUEUE_DEPTH,
+                                     name=f"p2p-store{coord}")
+
+        # Statistics.
+        self.dma_loads = 0
+        self.dma_stores = 0
+        self.p2p_loads = 0
+        self.p2p_stores = 0
+        self.words_loaded = 0
+        self.words_stored = 0
+
+        env.process(self._response_dispatcher())
+        env.process(self._p2p_server())
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _new_tag(self) -> str:
+        return f"{self.coord[0]}.{self.coord[1]}:{next(self._tag_counter)}"
+
+    def _response_queue(self, tag: str) -> Fifo:
+        queue = self._responses.get(tag)
+        if queue is None:
+            queue = Fifo(self.env, name=f"rsp:{tag}")
+            self._responses[tag] = queue
+        return queue
+
+    def _response_dispatcher(self):
+        """Demultiplex dma-rsp packets (DMA and p2p data) by tag."""
+        inbox = self.mesh.inbox(self.coord, DMA_RESPONSE_PLANE)
+        while True:
+            packet = yield inbox.get()
+            yield self._response_queue(packet.tag).put(packet)
+
+    def _flits(self, words: int, plane: str) -> int:
+        return words_to_flits(words, self.word_bits,
+                              self.mesh.flit_bits(plane))
+
+    # -- regular DMA ---------------------------------------------------------
+
+    def _dma_load(self, offset: int, n_words: int,
+                  coherent: bool = False):
+        yield self.env.timeout(self.tlb.translate(offset, n_words))
+        pending = []
+        cursor = offset
+        remaining = n_words
+        while remaining > 0:
+            burst = min(remaining, self.max_burst_words)
+            for tile, local, words in self.memory_map.split_range(cursor,
+                                                                  burst):
+                tag = self._new_tag()
+                request = DmaRequest(op="load", offset=local, words=words,
+                                     word_bits=self.word_bits,
+                                     reply_to=self.coord, tag=tag,
+                                     coherent=coherent)
+                self.mesh.send(Packet(
+                    src=self.coord, dst=tile.coord,
+                    plane=DMA_REQUEST_PLANE, kind=MessageKind.DMA_REQ,
+                    payload_flits=0, payload=request, tag=tag))
+                pending.append(tag)
+            cursor += burst
+            remaining -= burst
+        parts = []
+        for tag in pending:
+            packet = yield self._response_queue(tag).get()
+            parts.append(np.asarray(packet.payload))
+            del self._responses[tag]
+        self.dma_loads += 1
+        self.words_loaded += n_words
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def _dma_store(self, offset: int, data: np.ndarray,
+                   coherent: bool = False):
+        data = np.asarray(data, dtype=np.float64).reshape(-1)
+        n_words = len(data)
+        yield self.env.timeout(self.tlb.translate(offset, n_words))
+        sends = []
+        cursor = offset
+        position = 0
+        while position < n_words:
+            burst = min(n_words - position, self.max_burst_words)
+            for tile, local, words in self.memory_map.split_range(cursor,
+                                                                  burst):
+                chunk = data[position:position + words]
+                request = DmaRequest(op="store", offset=local, words=words,
+                                     word_bits=self.word_bits,
+                                     reply_to=self.coord,
+                                     tag=self._new_tag(), data=chunk,
+                                     coherent=coherent)
+                sends.append(self.mesh.send(Packet(
+                    src=self.coord, dst=tile.coord,
+                    plane=DMA_REQUEST_PLANE, kind=MessageKind.DMA_REQ,
+                    payload_flits=self._flits(words, DMA_REQUEST_PLANE),
+                    payload=request, tag=request.tag)))
+                position += words
+                cursor += words
+        # Stores are posted: completion is the NoC accepting the data
+        # (the memory tile serializes writes ahead of subsequent reads
+        # because its request queue is FIFO).
+        for send in sends:
+            yield send
+        self.dma_stores += 1
+        self.words_stored += n_words
+        return None
+
+    # -- p2p -------------------------------------------------------------------
+
+    def _p2p_load(self, n_words: int, p2p: P2PConfig):
+        """Receiver side: on-demand request to the next source tile."""
+        source = p2p.sources[self._p2p_round_robin % len(p2p.sources)]
+        self._p2p_round_robin += 1
+        tag = self._new_tag()
+        request = P2PLoadRequest(words=n_words, word_bits=self.word_bits,
+                                 reply_to=self.coord, tag=tag)
+        self.mesh.send(Packet(
+            src=self.coord, dst=source, plane=DMA_REQUEST_PLANE,
+            kind=MessageKind.P2P_REQ, payload_flits=0, payload=request,
+            tag=tag))
+        packet = yield self._response_queue(tag).get()
+        del self._responses[tag]
+        self.p2p_loads += 1
+        self.words_loaded += n_words
+        return np.asarray(packet.payload)
+
+    def _p2p_store(self, data: np.ndarray):
+        """Sender side: park the chunk until a receiver asks for it.
+
+        Blocks when the shallow queue is full — this is the hardware
+        backpressure that keeps long packets out of the NoC until the
+        downstream accelerator is ready (consumption assumption).
+        """
+        data = np.asarray(data, dtype=np.float64).reshape(-1)
+        yield self._p2p_store_queue.put(data)
+        self.p2p_stores += 1
+        self.words_stored += len(data)
+        return None
+
+    def _p2p_server(self):
+        """Sender side: answer p2p load requests with parked chunks."""
+        inbox = self.mesh.inbox(self.coord, DMA_REQUEST_PLANE)
+        while True:
+            packet = yield inbox.get()
+            request = packet.payload
+            if not isinstance(request, P2PLoadRequest):
+                raise TypeError(
+                    f"accelerator tile {self.coord} received unexpected "
+                    f"request {request!r} on the DMA request plane")
+            chunk = yield self._p2p_store_queue.get()
+            if len(chunk) != request.words:
+                raise ValueError(
+                    f"p2p size mismatch at {self.coord}: receiver asked "
+                    f"for {request.words} words, producer parked "
+                    f"{len(chunk)}")
+            self.mesh.send(Packet(
+                src=self.coord, dst=request.reply_to,
+                plane=DMA_RESPONSE_PLANE, kind=MessageKind.P2P_RSP,
+                payload_flits=self._flits(request.words,
+                                          DMA_RESPONSE_PLANE),
+                payload=chunk, tag=request.tag))
+
+    # -- public API (what the wrapper calls) -------------------------------------
+
+    def reset_p2p_rotation(self) -> None:
+        """Restart the round-robin source pointer (new invocation)."""
+        self._p2p_round_robin = 0
+
+    def load(self, offset: int, n_words: int,
+             p2p: Optional[P2PConfig] = None, coherent: bool = False):
+        """Load ``n_words`` into the PLM; DMA or p2p per configuration.
+
+        ``coherent`` selects LLC-coherent DMA (served through the
+        memory tile's last-level cache when one exists). A generator to
+        be driven with ``yield from``; returns the data.
+        """
+        if n_words < 1:
+            raise ValueError(f"n_words must be >= 1, got {n_words}")
+        if p2p is not None and p2p.load_enabled:
+            return (yield from self._p2p_load(n_words, p2p))
+        return (yield from self._dma_load(offset, n_words,
+                                          coherent=coherent))
+
+    def store(self, offset: int, data: np.ndarray,
+              p2p: Optional[P2PConfig] = None, coherent: bool = False):
+        """Store a PLM buffer; DMA or p2p per configuration."""
+        if p2p is not None and p2p.store_enabled:
+            return (yield from self._p2p_store(data))
+        return (yield from self._dma_store(offset, data,
+                                           coherent=coherent))

@@ -1,0 +1,121 @@
+"""Tests for the classifier, denoiser and multi-tile accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    classifier_model,
+    classifier_spec,
+    denoiser_model,
+    denoiser_spec,
+    partition_classifier,
+)
+from repro.accelerators.classifier import CLASSIFIER_TOPOLOGY
+from repro.accelerators.denoiser import DENOISER_TOPOLOGY
+
+
+class TestClassifier:
+    def test_paper_topology(self):
+        model = classifier_model()
+        assert model.topology == list(CLASSIFIER_TOPOLOGY)
+        assert CLASSIFIER_TOPOLOGY == (1024, 256, 128, 64, 32, 10)
+
+    def test_dropout_rate_from_paper(self):
+        from repro.nn import Dropout
+        rates = [l.rate for l in classifier_model().layers
+                 if isinstance(l, Dropout)]
+        assert rates == [0.2] * 4
+
+    def test_spec_geometry(self):
+        spec = classifier_spec()
+        assert spec.input_words == 1024
+        assert spec.output_words == 10
+        assert spec.design_flow == "hls4ml"
+
+    def test_spec_output_is_probability_like(self, rng):
+        spec = classifier_spec()
+        out = spec.run(rng.uniform(0, 1, 1024))
+        assert out.shape == (10,)
+        assert out.sum() == pytest.approx(1.0, abs=0.05)
+
+    def test_reuse_factor_controls_timing(self):
+        fast = classifier_spec(reuse_factor=128)
+        slow = classifier_spec(reuse_factor=2048)
+        assert slow.latency_cycles > fast.latency_cycles
+        assert slow.resources.dsps < fast.resources.dsps
+
+
+class TestDenoiser:
+    def test_paper_topology_and_compression(self):
+        model = denoiser_model()
+        assert model.topology == list(DENOISER_TOPOLOGY)
+        # "the compression factor in the bottleneck is 8"
+        assert DENOISER_TOPOLOGY[0] / DENOISER_TOPOLOGY[2] == 8
+
+    def test_spec_geometry(self):
+        spec = denoiser_spec()
+        assert spec.input_words == 1024
+        assert spec.output_words == 1024
+
+    def test_output_in_unit_range(self, rng):
+        spec = denoiser_spec()
+        out = spec.run(rng.uniform(0, 1, 1024))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_denoiser_slower_than_classifier(self):
+        # Table I: De+Cl runs at ~1/6th the NV+Cl rate; the denoiser is
+        # the heavyweight stage.
+        assert denoiser_spec().latency_cycles > \
+            classifier_spec().latency_cycles
+
+
+class TestMultiTile:
+    def test_five_partitions(self):
+        parts = partition_classifier()
+        assert len(parts) == 5
+
+    def test_partitions_chain_geometrically(self):
+        parts = partition_classifier()
+        sizes = [parts[0].input_words] + [p.output_words for p in parts]
+        assert sizes == list(CLASSIFIER_TOPOLOGY)
+
+    def test_partitioned_equals_monolithic(self, rng):
+        from repro.accelerators.classifier import classifier_hls
+        from repro.accelerators.classifier import spec_from_hls
+        hls = classifier_hls()
+        mono = spec_from_hls(hls, name="mono")
+        parts = partition_classifier(hls_model=hls)
+        x = rng.uniform(0, 1, 1024)
+        staged = x
+        for part in parts:
+            staged = part.run(staged)
+        np.testing.assert_array_equal(staged, mono.run(x))
+
+    def test_each_partition_faster_than_whole(self):
+        from repro.accelerators.classifier import classifier_hls
+        hls = classifier_hls(reuse_factor=2048)
+        parts = partition_classifier(hls_model=hls)
+        whole_latency = hls.latency_cycles
+        assert all(p.latency_cycles < whole_latency for p in parts)
+
+
+class TestRegistry:
+    def test_default_catalog(self):
+        from repro.accelerators import AcceleratorRegistry
+        registry = AcceleratorRegistry.default()
+        assert set(registry.names()) == {"classifier", "denoiser",
+                                         "night_vision"}
+        spec = registry.build("night_vision")
+        assert spec.input_words == 1024
+
+    def test_unknown_name(self):
+        from repro.accelerators import AcceleratorRegistry
+        with pytest.raises(KeyError):
+            AcceleratorRegistry.default().build("transformer")
+
+    def test_duplicate_registration(self):
+        from repro.accelerators import AcceleratorRegistry
+        registry = AcceleratorRegistry.default()
+        with pytest.raises(ValueError):
+            registry.register("classifier", classifier_spec)
+        registry.register("classifier", classifier_spec, replace=True)

@@ -1,0 +1,113 @@
+"""Tests for the Night-Vision kernels and accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    histogram_equalization_kernel,
+    histogram_kernel,
+    night_vision_spec,
+    noise_filter_kernel,
+)
+from repro.accelerators.nightvision import HISTOGRAM_BINS, night_vision_compute
+from repro.datasets import FRAME_PIXELS, darken, flatten_frames, generate
+
+
+@pytest.fixture(scope="module")
+def frames():
+    imgs, _ = generate(4, seed=0)
+    return flatten_frames(imgs)
+
+
+class TestNoiseFilter:
+    def test_shape_preserved(self, frames):
+        out = noise_filter_kernel(frames[0])
+        assert out.shape == (FRAME_PIXELS,)
+
+    def test_removes_salt_and_pepper(self, frames):
+        frame = frames[0].copy()
+        rng = np.random.default_rng(1)
+        idx = rng.choice(FRAME_PIXELS, 40, replace=False)
+        corrupted = frame.copy()
+        corrupted[idx[:20]] = 1.0
+        corrupted[idx[20:]] = 0.0
+        restored = noise_filter_kernel(corrupted)
+        clean = noise_filter_kernel(frame)
+        assert np.abs(restored - clean).mean() < 0.02
+
+    def test_constant_frame_unchanged(self):
+        frame = np.full(FRAME_PIXELS, 0.5)
+        np.testing.assert_allclose(noise_filter_kernel(frame), 0.5,
+                                   atol=1e-3)
+
+
+class TestHistogram:
+    def test_counts_sum_to_pixels(self, frames):
+        hist = histogram_kernel(frames[0])
+        assert hist.sum() == FRAME_PIXELS
+        assert len(hist) == HISTOGRAM_BINS
+
+    def test_dark_frame_concentrates_low_bins(self, frames):
+        dark = darken(frames[0].reshape(1, -1), factor=0.2)[0]
+        hist = histogram_kernel(dark)
+        low = hist[:HISTOGRAM_BINS // 4].sum()
+        assert low > 0.9 * FRAME_PIXELS
+
+    def test_values_at_one_clip_to_last_bin(self):
+        hist = histogram_kernel(np.ones(16))
+        assert hist[-1] == 16
+
+
+class TestEqualization:
+    def test_stretches_dark_frames(self, frames):
+        dark = darken(frames[0].reshape(1, -1), factor=0.2)[0]
+        hist = histogram_kernel(dark)
+        out = histogram_equalization_kernel(dark, hist)
+        assert out.max() > 0.9
+        assert out.max() - out.min() > dark.max() - dark.min()
+
+    def test_monotone_mapping(self, frames):
+        dark = darken(frames[0].reshape(1, -1), factor=0.3)[0]
+        hist = histogram_kernel(dark)
+        out = histogram_equalization_kernel(dark, hist)
+        order = np.argsort(dark)
+        assert np.all(np.diff(out[order]) >= -1e-9)
+
+    def test_constant_frame_handled(self):
+        frame = np.full(FRAME_PIXELS, 0.3)
+        hist = histogram_kernel(frame)
+        out = histogram_equalization_kernel(frame, hist)
+        assert np.all(np.isfinite(out))
+
+
+class TestNightVisionSpec:
+    def test_geometry(self):
+        spec = night_vision_spec()
+        assert spec.input_words == FRAME_PIXELS
+        assert spec.output_words == FRAME_PIXELS
+        assert spec.design_flow == "stratus"
+
+    def test_compute_matches_kernel_composition(self, frames):
+        spec = night_vision_spec()
+        dark = darken(frames[:1], factor=0.25)[0]
+        np.testing.assert_array_equal(spec.run(dark),
+                                      night_vision_compute(dark))
+
+    def test_is_slow_stage_of_nv_cl_pipeline(self):
+        """The paper replicates NV because it is the slower stage."""
+        from repro.accelerators import classifier_spec
+        nv = night_vision_spec()
+        cl = classifier_spec()
+        assert nv.latency_cycles > cl.latency_cycles
+
+    def test_restores_classifier_accuracy_on_dark_frames(self):
+        """The motivating property: equalized dark frames look like
+        normal frames to downstream consumers (dynamic range restored)."""
+        imgs, _ = generate(8, seed=5)
+        flat = flatten_frames(imgs)
+        dark = darken(flat, factor=0.2)
+        spec = night_vision_spec()
+        restored = np.stack([spec.run(f) for f in dark])
+        # Restored frames span most of the dynamic range again.
+        assert restored.max() > 0.9
+        assert dark.max() <= 0.2 + 1e-9

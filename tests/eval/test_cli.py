@@ -1,0 +1,39 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.frames == 32
+
+    def test_train_preset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--preset", "turbo"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "FRAMES/S ESP4ML" in out
+        assert "paper" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--app", "1nv_1cl", "--mode", "pipe",
+                     "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "frames/s" in out
+        assert "#" in out

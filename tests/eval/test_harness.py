@@ -1,0 +1,53 @@
+"""Tests for the experiment-harness utilities."""
+
+import pytest
+
+from repro.eval import Measurement, format_table, measure, relative_error
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        text = format_table([["a", "1"], ["bbbb", "22"]],
+                            headers=["name", "value"])
+        lines = text.splitlines()
+        assert len(lines) == 4                     # header + rule + 2 rows
+        assert len({len(l) for l in lines}) == 1   # constant width
+
+    def test_empty_rows(self):
+        text = format_table([], headers=["col"])
+        assert "col" in text
+
+    def test_numbers_coerced(self):
+        text = format_table([[1, 2.5]], headers=["a", "b"])
+        assert "2.5" in text
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(-0.1)
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestMeasurement:
+    def test_frames_per_joule(self):
+        m = Measurement(app="x", mode="p2p", frames=10, fps=1000.0,
+                        watts=2.0, dram_accesses=0, ioctl_calls=1,
+                        cycles=100)
+        assert m.frames_per_joule == 500.0
+
+    def test_measure_populates_everything(self):
+        m = measure("1nv_1cl", "p2p", n_frames=4)
+        assert m.frames == 4
+        assert m.fps > 0
+        assert m.watts > 0
+        assert m.cycles > 0
+        assert m.dram_accesses > 0
+        assert m.ioctl_calls == 2
+
+    def test_invalid_mode_propagates(self):
+        with pytest.raises(ValueError):
+            measure("1nv_1cl", "warp", n_frames=4)

@@ -1,0 +1,125 @@
+"""Tests for the end-to-end ESP4ML flow driver (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.flow import Esp4mlFlow, auto_grid
+from repro.nn import Dense, ReLU, Sequential, Softmax
+from repro.runtime import chain, replicated_stage
+from tests.conftest import make_spec
+
+
+def small_ml_model(name="mini", seed=0):
+    return Sequential([Dense(16), ReLU(), Dense(4), Softmax()],
+                      name=name).build(8, seed=seed)
+
+
+class TestAutoGrid:
+    def test_near_square(self):
+        assert auto_grid(4) == (2, 2)
+        assert auto_grid(5) == (3, 2)
+        assert auto_grid(12) == (4, 3)
+
+    def test_capacity(self):
+        for n in range(1, 30):
+            cols, rows = auto_grid(n)
+            assert cols * rows >= n
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            auto_grid(0)
+
+
+class TestFlow:
+    def test_ml_branch_generates_firmware_artifacts(self):
+        flow = Esp4mlFlow()
+        flow.add_ml_accelerator("ml0", small_ml_model(), reuse_factor=4)
+        bundle = flow.generate("soc")
+        assert "ml0/compute.cpp" in bundle.artifacts
+        assert "ml0/directives.tcl" in bundle.artifacts
+        assert "ml0.xml" in bundle.artifacts
+        assert "soc.dts" in bundle.artifacts
+
+    def test_generic_branch(self):
+        flow = Esp4mlFlow()
+        flow.add_generic_accelerator("nv0", make_spec(name="nv"))
+        bundle = flow.generate("soc")
+        assert "nv0.xml" in bundle.artifacts
+        assert "nv0" in bundle.soc.accelerators
+
+    def test_duplicate_device_rejected(self):
+        flow = Esp4mlFlow()
+        flow.add_generic_accelerator("a", make_spec())
+        with pytest.raises(ValueError):
+            flow.add_generic_accelerator("a", make_spec())
+
+    def test_generate_without_accelerators_rejected(self):
+        with pytest.raises(ValueError):
+            Esp4mlFlow().generate()
+
+    def test_explicit_grid_too_small(self):
+        flow = Esp4mlFlow()
+        flow.add_generic_accelerator("a", make_spec())
+        with pytest.raises(ValueError):
+            flow.generate(grid=(2, 1))
+
+    def test_generated_soc_runs_a_dataflow(self, rng):
+        flow = Esp4mlFlow()
+        flow.add_generic_accelerator(
+            "pre0", make_spec(name="pre", input_words=8, output_words=8))
+        model = small_ml_model()
+        flow.add_ml_accelerator("ml0", model, reuse_factor=4)
+        bundle = flow.generate("soc")
+        df = replicated_stage("app", ["pre0"], ["ml0"])
+        frames = rng.uniform(0, 1, (4, 8))
+        result = bundle.runtime.esp_run(df, frames, mode="p2p")
+        assert result.outputs.shape == (4, 4)
+        # Outputs are softmax probabilities from the compiled model.
+        np.testing.assert_allclose(result.outputs.sum(axis=1), 1.0,
+                                   atol=0.05)
+
+    def test_emit_application(self):
+        flow = Esp4mlFlow()
+        flow.add_generic_accelerator("a0", make_spec(name="a"))
+        flow.add_generic_accelerator("b0", make_spec(name="b"))
+        bundle = flow.generate("soc")
+        df = chain("myapp", ["a0", "b0"])
+        flow.emit_application(bundle, df, n_frames=8, mode="p2p")
+        assert "dflow_myapp.h" in bundle.artifacts
+        assert "myapp-app.c" in bundle.artifacts
+        app = bundle.artifacts["myapp-app.c"]
+        assert "esp_alloc" in app and "esp_run" in app \
+            and "esp_cleanup" in app
+
+    def test_write_artifacts(self, tmp_path):
+        flow = Esp4mlFlow()
+        flow.add_generic_accelerator("a0", make_spec(name="a"))
+        bundle = flow.generate("soc")
+        written = bundle.write_artifacts(tmp_path)
+        assert (tmp_path / "soc.dts").exists()
+        assert (tmp_path / "a0.xml").exists()
+        assert len(written) == len(bundle.artifacts)
+
+
+class TestDataflowHeader:
+    def test_header_marks_comm_modes(self):
+        from repro.runtime import emit_dataflow_header
+        df = chain("app", ["a", "b", "c"])
+        text = emit_dataflow_header(df, n_frames=16, mode="p2p")
+        assert "#define NACC 3" in text
+        # Root loads DMA / stores P2P; middle both P2P; leaf loads P2P.
+        assert '.devname = "a", .load = DMA, .store = P2P' in text
+        assert '.devname = "b", .load = P2P, .store = P2P' in text
+        assert '.devname = "c", .load = P2P, .store = DMA' in text
+
+    def test_header_dma_mode(self):
+        from repro.runtime import emit_dataflow_header
+        df = chain("app", ["a", "b"])
+        text = emit_dataflow_header(df, n_frames=16, mode="pipe")
+        assert "P2P" not in text.replace("p2p_srcs", "")
+
+    def test_sources_listed_for_gather(self):
+        from repro.runtime import emit_dataflow_header
+        df = replicated_stage("app", ["p0", "p1"], ["c0"])
+        text = emit_dataflow_header(df, n_frames=16, mode="p2p")
+        assert '"p0", "p1"' in text

@@ -1,0 +1,116 @@
+"""Tests for the HLS scheduling model (latency/II vs reuse factor)."""
+
+import pytest
+
+from repro.hls import (
+    LoopSchedule,
+    ResourceEstimate,
+    dataflow_schedule,
+    dense_layer_schedule,
+    nearest_reuse_factor,
+    pipelined_loop_schedule,
+    sequential_schedule,
+    valid_reuse_factor,
+)
+
+
+class TestReuseFactor:
+    def test_valid_divisors(self):
+        assert valid_reuse_factor(1024, 1)
+        assert valid_reuse_factor(1024, 256)
+        assert valid_reuse_factor(1024, 1024)
+        assert not valid_reuse_factor(1024, 3)
+        assert not valid_reuse_factor(1024, 2048)
+
+    def test_nearest_snaps_to_divisor(self):
+        assert nearest_reuse_factor(320, 512) == 320
+        assert nearest_reuse_factor(1024, 100) == 128  # ties prefer lower
+        assert nearest_reuse_factor(1024, 96) == 64
+
+    def test_nearest_identity_when_valid(self):
+        assert nearest_reuse_factor(1024, 64) == 64
+
+    def test_nearest_invalid_request(self):
+        with pytest.raises(ValueError):
+            nearest_reuse_factor(1024, 0)
+
+
+class TestDenseSchedule:
+    def test_reuse_tradeoff(self):
+        fast = dense_layer_schedule(1024, 256, reuse_factor=64)
+        slow = dense_layer_schedule(1024, 256, reuse_factor=1024)
+        # Larger reuse: longer latency/II, fewer multipliers (DSPs).
+        assert slow.interval > fast.interval
+        assert slow.latency > fast.latency
+        assert slow.resources.dsps < fast.resources.dsps
+
+    def test_multiplier_count_is_weights_over_reuse(self):
+        schedule = dense_layer_schedule(1024, 256, reuse_factor=512)
+        assert schedule.resources.dsps == 1024 * 256 // 512
+
+    def test_interval_equals_reuse(self):
+        schedule = dense_layer_schedule(128, 64, reuse_factor=32)
+        assert schedule.interval == 32
+
+    def test_latency_includes_tree_and_activation(self):
+        schedule = dense_layer_schedule(1024, 256, reuse_factor=32)
+        assert schedule.latency > 32   # reuse + log2(1024) tree + act
+
+    def test_invalid_reuse_rejected_with_hint(self):
+        with pytest.raises(ValueError, match="nearest valid"):
+            dense_layer_schedule(1024, 256, reuse_factor=1000)
+
+    def test_dsps_double_for_wide_weights(self):
+        narrow = dense_layer_schedule(64, 64, 64, weight_width=16)
+        wide = dense_layer_schedule(64, 64, 64, weight_width=24)
+        assert wide.resources.dsps == 2 * narrow.resources.dsps
+
+
+class TestLoopSchedules:
+    def test_pipelined_loop_formula(self):
+        schedule = pipelined_loop_schedule(1024, interval=1, depth=10)
+        assert schedule.latency == 10 + 1023
+
+    def test_pipelined_loop_ii_scales(self):
+        ii2 = pipelined_loop_schedule(100, interval=2, depth=4)
+        assert ii2.latency == 4 + 2 * 99
+
+    def test_trip_count_validation(self):
+        with pytest.raises(ValueError):
+            pipelined_loop_schedule(0)
+
+    def test_sequential_adds_latency(self):
+        a = pipelined_loop_schedule(100)
+        b = pipelined_loop_schedule(200)
+        seq = sequential_schedule(a, b)
+        assert seq.latency == a.latency + b.latency
+        assert seq.interval == seq.latency
+
+    def test_dataflow_overlaps(self):
+        a = dense_layer_schedule(64, 64, 64)
+        b = dense_layer_schedule(64, 64, 16)
+        df = dataflow_schedule(a, b)
+        assert df.interval == max(a.interval, b.interval)
+        assert df.latency == a.latency + b.latency
+
+    def test_resources_accumulate(self):
+        a = pipelined_loop_schedule(
+            10, body_resources=ResourceEstimate(luts=100))
+        b = pipelined_loop_schedule(
+            10, body_resources=ResourceEstimate(luts=200))
+        assert sequential_schedule(a, b).resources.luts == \
+            a.resources.luts + b.resources.luts
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_schedule()
+        with pytest.raises(ValueError):
+            dataflow_schedule()
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            LoopSchedule(latency=0, interval=1,
+                         resources=ResourceEstimate())
+        with pytest.raises(ValueError):
+            LoopSchedule(latency=1, interval=0,
+                         resources=ResourceEstimate())

@@ -1,0 +1,114 @@
+"""Tests for the HLS4ML-substitute compiler."""
+
+import numpy as np
+import pytest
+
+from repro.hls4ml_flow import HlsConfig, compile_artifacts, compile_model
+from repro.nn import (
+    Dense,
+    Dropout,
+    GaussianNoise,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    model_artifacts,
+)
+
+
+def small_model(seed=0):
+    return Sequential([Dense(16), ReLU(), Dropout(0.2), Dense(4),
+                       Softmax()], name="small").build(8, seed=seed)
+
+
+class TestCompile:
+    def test_layers_fused(self):
+        hls = compile_model(small_model(), HlsConfig(reuse_factor=4))
+        assert len(hls.layers) == 2
+        assert hls.layers[0].activation == "relu"
+        assert hls.layers[1].activation == "softmax"
+
+    def test_training_layers_dropped(self):
+        model = Sequential([GaussianNoise(0.1), Dense(4), Sigmoid()],
+                           name="noisy").build(4)
+        hls = compile_model(model, HlsConfig(reuse_factor=1))
+        assert len(hls.layers) == 1
+        assert hls.layers[0].activation == "sigmoid"
+
+    def test_topology_preserved(self):
+        hls = compile_model(small_model(), HlsConfig(reuse_factor=4))
+        assert hls.topology == [8, 16, 4]
+
+    def test_reuse_factor_snaps_per_layer(self):
+        hls = compile_model(small_model(), HlsConfig(reuse_factor=100))
+        # 8x16=128 weights: nearest divisor of 100; 16x4=64 likewise.
+        assert 128 % hls.layers[0].reuse_factor == 0
+        assert 64 % hls.layers[1].reuse_factor == 0
+
+    def test_per_layer_reuse_override(self):
+        model = small_model()
+        names = [l.name for l in model.dense_layers()]
+        config = HlsConfig(reuse_factor=4,
+                           layer_reuse={names[0]: 128})
+        hls = compile_model(model, config)
+        assert hls.layers[0].reuse_factor == 128
+        assert hls.layers[1].reuse_factor == 4
+
+    def test_compile_from_artifacts(self):
+        model = small_model()
+        json_text, weights = model_artifacts(model)
+        hls = compile_artifacts(json_text, weights,
+                                HlsConfig(reuse_factor=4))
+        assert hls.topology == [8, 16, 4]
+
+    def test_missing_weights_rejected(self):
+        model = small_model()
+        json_text, weights = model_artifacts(model)
+        weights.pop(next(k for k in weights if k.endswith("/weights")))
+        with pytest.raises(KeyError):
+            compile_artifacts(json_text, weights)
+
+    def test_activation_without_dense_rejected(self):
+        model = Sequential([ReLU(), Dense(4)], name="bad").build(4)
+        json_text, weights = model_artifacts(model)
+        with pytest.raises(ValueError):
+            compile_artifacts(json_text, weights)
+
+    def test_double_activation_rejected(self):
+        model = Sequential([Dense(4), ReLU(), Sigmoid()],
+                           name="bad").build(4)
+        json_text, weights = model_artifacts(model)
+        with pytest.raises(ValueError):
+            compile_artifacts(json_text, weights)
+
+    def test_precision_from_string(self):
+        config = HlsConfig(precision="ap_fixed<12,4>", reuse_factor=4)
+        hls = compile_model(small_model(), config)
+        assert hls.layers[0].precision.width == 12
+
+
+class TestNumerics:
+    def test_fixed_point_tracks_float_argmax(self, rng):
+        model = small_model()
+        hls = compile_model(model, HlsConfig(reuse_factor=4))
+        x = rng.uniform(0, 1, (64, 8))
+        match = (model.predict(x).argmax(1) ==
+                 hls.predict(x).argmax(1)).mean()
+        assert match > 0.9
+
+    def test_weights_are_quantized(self):
+        hls = compile_model(small_model(), HlsConfig(reuse_factor=4))
+        layer = hls.layers[0]
+        np.testing.assert_array_equal(
+            layer.precision.quantize(layer.weights), layer.weights)
+
+    def test_wrong_input_size_rejected(self):
+        hls = compile_model(small_model(), HlsConfig(reuse_factor=4))
+        with pytest.raises(ValueError):
+            hls.predict(np.zeros((1, 7)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HlsConfig(reuse_factor=0)
+        with pytest.raises(ValueError):
+            HlsConfig(clock_mhz=0)

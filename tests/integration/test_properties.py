@@ -1,0 +1,104 @@
+"""Property-based integration tests over randomized pipelines.
+
+The central runtime invariant: for any valid dataflow shape, frame
+count and kernel latencies, all execution modes compute the same
+function — the modes only differ in time and traffic.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import chain, replicated_stage
+from tests.conftest import make_runtime, make_spec
+
+
+def _affine_kernel(scale, shift, words):
+    def compute(frame):
+        return np.asarray(frame) * scale + shift
+    return compute
+
+
+@st.composite
+def pipeline_shapes(draw):
+    """Random chains and replicated stages with random kernels."""
+    kind = draw(st.sampled_from(["chain", "gather", "pairwise"]))
+    words = draw(st.sampled_from([4, 8, 16]))
+    latencies = st.integers(10, 400)
+    if kind == "chain":
+        n = draw(st.integers(1, 4))
+        names = [f"s{i}" for i in range(n)]
+        specs = []
+        for i, name in enumerate(names):
+            scale = draw(st.sampled_from([0.5, 1.0, 2.0]))
+            shift = draw(st.sampled_from([-1.0, 0.0, 1.0]))
+            specs.append((name, make_spec(
+                name=name, input_words=words, output_words=words,
+                latency=draw(latencies),
+                compute=_affine_kernel(scale, shift, words))))
+        return specs, chain("df", names)
+    n_prod = draw(st.sampled_from([2, 4]))
+    n_cons = 1 if kind == "gather" else n_prod
+    producers = [f"p{i}" for i in range(n_prod)]
+    consumers = [f"c{i}" for i in range(n_cons)]
+    specs = [(name, make_spec(name=name, input_words=words,
+                              output_words=words,
+                              latency=draw(latencies)))
+             for name in producers + consumers]
+    return specs, replicated_stage("df", producers, consumers)
+
+
+@given(shape=pipeline_shapes(), n_batches=st.integers(1, 3),
+       seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_all_modes_compute_the_same_function(shape, n_batches, seed):
+    specs, dataflow = shape
+    k = max(len(level) for level in dataflow.levels())
+    n_frames = k * 2 * n_batches
+    words = specs[0][1].input_words
+    frames = np.random.default_rng(seed).uniform(0, 1, (n_frames, words))
+    outputs = {}
+    for mode in ("base", "pipe", "p2p"):
+        runtime = make_runtime(specs, cols=4, rows=3)
+        outputs[mode] = runtime.esp_run(dataflow, frames,
+                                        mode=mode).outputs
+    np.testing.assert_array_equal(outputs["base"], outputs["pipe"])
+    np.testing.assert_array_equal(outputs["base"], outputs["p2p"])
+
+
+@given(shape=pipeline_shapes(), seed=st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_p2p_never_increases_dram_traffic(shape, seed):
+    specs, dataflow = shape
+    k = max(len(level) for level in dataflow.levels())
+    words = specs[0][1].input_words
+    frames = np.random.default_rng(seed).uniform(0, 1, (2 * k, words))
+    dram = {}
+    for mode in ("pipe", "p2p"):
+        runtime = make_runtime(specs, cols=4, rows=3)
+        dram[mode] = runtime.esp_run(dataflow, frames,
+                                     mode=mode).dram_accesses
+    assert dram["p2p"] <= dram["pipe"]
+
+
+@given(shape=pipeline_shapes(), seed=st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_pipelining_never_much_slower_than_serial(shape, seed):
+    """Pipelining wins whenever there is anything to overlap; for
+    degenerate shapes (one device, one frame per device) it may only
+    pay its thread-spawn/sync overhead, so the bound allows exactly
+    that overhead and nothing more."""
+    specs, dataflow = shape
+    k = max(len(level) for level in dataflow.levels())
+    words = specs[0][1].input_words
+    n_frames = 4 * k
+    frames = np.random.default_rng(seed).uniform(0, 1, (n_frames, words))
+    cycles = {}
+    for mode in ("base", "pipe"):
+        runtime = make_runtime(specs, cols=4, rows=3)
+        cycles[mode] = runtime.esp_run(dataflow, frames,
+                                       mode=mode).cycles
+    overhead = 150 * len(specs) + 40 * (n_frames + 1) * len(specs)
+    assert cycles["pipe"] <= cycles["base"] + overhead
+    if len(dataflow.levels()) >= 2:
+        # A real pipeline with several frames per stage must win.
+        assert cycles["pipe"] < cycles["base"]

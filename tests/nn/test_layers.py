@@ -1,0 +1,180 @@
+"""Tests for the NN layer implementations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    GaussianNoise,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    inference_layers,
+    layer_from_config,
+)
+
+
+def build(layer, input_dim, seed=0):
+    layer.build(input_dim, np.random.default_rng(seed))
+    return layer
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = build(Dense(8), 4)
+        out = layer.forward(rng.uniform(-1, 1, (3, 4)))
+        assert out.shape == (3, 8)
+
+    def test_forward_is_affine(self, rng):
+        layer = build(Dense(8), 4)
+        x = rng.uniform(-1, 1, (1, 4))
+        expected = x @ layer.weights + layer.bias
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_glorot_init_scale(self):
+        layer = build(Dense(100), 400)
+        limit = np.sqrt(6.0 / 500)
+        assert np.abs(layer.weights).max() <= limit
+        assert layer.weights.std() > limit / 4   # not degenerate
+
+    def test_backward_gradients_numeric(self, rng):
+        layer = build(Dense(3), 5)
+        x = rng.uniform(-1, 1, (2, 5))
+        out = layer.forward(x, training=True)
+        grad_out = rng.uniform(-1, 1, out.shape)
+        grad_in = layer.backward(grad_out)
+        # Numerical check of dL/dW for one entry (L = sum(out * grad_out)).
+        eps = 1e-6
+        layer.weights[0, 0] += eps
+        bumped = (layer.forward(x) * grad_out).sum()
+        layer.weights[0, 0] -= 2 * eps
+        dropped = (layer.forward(x) * grad_out).sum()
+        layer.weights[0, 0] += eps
+        numeric = (bumped - dropped) / (2 * eps)
+        assert layer.grads()["weights"][0, 0] == pytest.approx(
+            numeric, rel=1e-4)
+        assert grad_in.shape == x.shape
+
+    def test_backward_without_training_forward_fails(self, rng):
+        layer = build(Dense(3), 5)
+        layer.forward(rng.uniform(-1, 1, (2, 5)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 3)))
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_n_weights(self):
+        layer = build(Dense(256), 1024)
+        assert layer.n_weights == 1024 * 256
+
+
+class TestActivations:
+    def test_relu(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-2.0, 0.0, 3.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 3.0]])
+
+    def test_relu_gradient_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-2.0, 0.0, 3.0]]), training=True)
+        grad = layer.backward(np.ones((1, 3)))
+        np.testing.assert_array_equal(grad, [[0.0, 0.0, 1.0]])
+
+    def test_sigmoid_range(self, rng):
+        layer = Sigmoid()
+        out = layer.forward(rng.uniform(-100, 100, (4, 7)))
+        assert np.all((out >= 0) & (out <= 1))
+        mid = layer.forward(rng.uniform(-5, 5, (4, 7)))
+        assert np.all((mid > 0) & (mid < 1))
+
+    def test_sigmoid_gradient(self):
+        layer = Sigmoid()
+        y = layer.forward(np.array([[0.0]]), training=True)
+        grad = layer.backward(np.ones((1, 1)))
+        assert grad[0, 0] == pytest.approx(0.25)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        layer = Softmax()
+        out = layer.forward(rng.uniform(-5, 5, (6, 10)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        layer = Softmax()
+        out = layer.forward(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5)
+        x = rng.uniform(-1, 1, (4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_and_rescales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)              # inverted scaling
+        assert 0.3 < (out == 0).mean() < 0.7       # roughly half dropped
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_rate_zero_is_identity_in_training(self, rng):
+        layer = Dropout(0.0)
+        x = rng.uniform(-1, 1, (4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+
+class TestGaussianNoise:
+    def test_identity_at_inference(self, rng):
+        layer = GaussianNoise(0.3)
+        x = rng.uniform(0, 1, (4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_adds_noise_in_training(self):
+        layer = GaussianNoise(0.3, rng=np.random.default_rng(1))
+        x = np.zeros((100, 100))
+        out = layer.forward(x, training=True)
+        assert out.std() == pytest.approx(0.3, rel=0.05)
+
+    def test_gradient_passthrough(self):
+        layer = GaussianNoise(0.3)
+        grad = np.ones((2, 3))
+        np.testing.assert_array_equal(layer.backward(grad), grad)
+
+    def test_negative_stddev_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+
+class TestConfigRoundtrip:
+    def test_dense_roundtrip(self):
+        layer = build(Dense(8, name="enc"), 4)
+        rebuilt = layer_from_config(layer.config())
+        assert isinstance(rebuilt, Dense)
+        assert rebuilt.units == 8
+        assert rebuilt.name == "enc"
+
+    def test_dropout_roundtrip(self):
+        rebuilt = layer_from_config(Dropout(0.2).config())
+        assert isinstance(rebuilt, Dropout)
+        assert rebuilt.rate == 0.2
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            layer_from_config({"class_name": "Conv2D", "name": "x"})
+
+    def test_inference_layers_drop_training_only(self):
+        layers = [Dense(4), ReLU(), Dropout(0.2), GaussianNoise(0.1),
+                  Softmax()]
+        kept = inference_layers(layers)
+        assert [type(l).__name__ for l in kept] == ["Dense", "ReLU",
+                                                    "Softmax"]

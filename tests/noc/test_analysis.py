@@ -1,0 +1,102 @@
+"""Tests for the static NoC analysis helpers."""
+
+import pytest
+
+from repro.noc import (
+    DMA_REQUEST_PLANE,
+    Mesh2D,
+    MessageKind,
+    Packet,
+    average_distance,
+    bisection_bandwidth_flits,
+    bisection_links,
+    link_utilizations,
+    mesh_diameter,
+    saturation_injection_rate,
+    utilization_heatmap,
+    zero_load_latency,
+)
+from repro.sim import Environment
+
+
+class TestClosedForm:
+    def test_zero_load_matches_simulation(self):
+        env = Environment()
+        mesh = Mesh2D(env, 3, 3, router_latency=2)
+        packet = Packet(src=(0, 0), dst=(2, 2),
+                        plane=DMA_REQUEST_PLANE,
+                        kind=MessageKind.DMA_REQ, payload_flits=15)
+        mesh.send(packet)
+        env.run()
+        predicted = zero_load_latency((0, 0), (2, 2), 15,
+                                      router_latency=2)
+        assert packet.latency == predicted
+
+    def test_zero_load_local(self):
+        assert zero_load_latency((1, 1), (1, 1), 100,
+                                 router_latency=3) == 3
+
+    def test_diameter(self):
+        assert mesh_diameter(4, 3) == 5
+        assert mesh_diameter(1, 1) == 0
+        with pytest.raises(ValueError):
+            mesh_diameter(0, 1)
+
+    def test_average_distance_2x2(self):
+        # Pairs: 8 at distance 1, 4 at distance 2 -> 16/12.
+        assert average_distance(2, 2) == pytest.approx(16 / 12)
+
+    def test_average_distance_single_tile(self):
+        assert average_distance(1, 1) == 0.0
+
+    def test_bisection(self):
+        assert bisection_links(4, 3) == 6
+        assert bisection_links(1, 3) == 0
+        assert bisection_bandwidth_flits(4, 3, planes=2) == 12
+
+    def test_saturation_rate(self):
+        # 4x4 mesh: B = 8, N = 16 -> r = 1.0 flits/cycle/tile.
+        assert saturation_injection_rate(4, 4) == pytest.approx(1.0)
+        # Wider meshes saturate at lower per-tile rates.
+        assert saturation_injection_rate(8, 8) < \
+            saturation_injection_rate(4, 4)
+
+    def test_saturation_one_column(self):
+        assert saturation_injection_rate(1, 4) == float("inf")
+
+
+class TestPostRunAnalysis:
+    def _loaded_mesh(self):
+        env = Environment()
+        mesh = Mesh2D(env, 3, 1)
+        for _ in range(4):
+            mesh.send(Packet(src=(0, 0), dst=(2, 0),
+                             plane=DMA_REQUEST_PLANE,
+                             kind=MessageKind.DMA_REQ,
+                             payload_flits=20))
+        env.run()
+        return mesh
+
+    def test_link_utilizations_sorted(self):
+        mesh = self._loaded_mesh()
+        utils = link_utilizations(mesh, DMA_REQUEST_PLANE)
+        flits = [u.flits for u in utils]
+        assert flits == sorted(flits, reverse=True)
+        assert utils[0].flits == 4 * 21
+
+    def test_unknown_plane(self):
+        mesh = self._loaded_mesh()
+        with pytest.raises(ValueError):
+            link_utilizations(mesh, "warp")
+
+    def test_heatmap_shape_and_peak(self):
+        mesh = self._loaded_mesh()
+        text = utilization_heatmap(mesh, DMA_REQUEST_PLANE)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == 1
+        assert "@" in rows[0]   # the forwarding tiles saturate
+
+    def test_heatmap_empty_plane(self):
+        mesh = self._loaded_mesh()
+        text = utilization_heatmap(mesh, "coh-req")
+        assert "peak" in text

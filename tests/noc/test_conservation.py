@@ -1,0 +1,64 @@
+"""Conservation properties of the NoC accounting."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import (
+    DMA_REQUEST_PLANE,
+    Mesh2D,
+    MessageKind,
+    Packet,
+    hop_count,
+)
+from repro.sim import Environment
+
+
+@given(cols=st.integers(2, 4), rows=st.integers(2, 4),
+       flows=st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15),
+                                st.integers(0, 30)),
+                      min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_flit_hops_equal_sum_of_size_times_distance(cols, rows, flows):
+    """Every flit is accounted on every link it crosses, exactly once."""
+    env = Environment()
+    mesh = Mesh2D(env, cols, rows)
+    expected = 0
+    for a, b, payload in flows:
+        src = (a % cols, (a // cols) % rows)
+        dst = (b % cols, (b // cols) % rows)
+        mesh.send(Packet(src=src, dst=dst, plane=DMA_REQUEST_PLANE,
+                         kind=MessageKind.DMA_REQ,
+                         payload_flits=payload))
+        expected += (payload + 1) * hop_count(src, dst)
+    env.run()
+    assert mesh.flit_hops == expected
+    assert sum(mesh.plane_flits().values()) == expected
+
+
+@given(cols=st.integers(2, 4), rows=st.integers(2, 4),
+       n_packets=st.integers(1, 12), seed=st.integers(0, 99))
+@settings(max_examples=40, deadline=None)
+def test_every_injected_packet_ejects_exactly_once(cols, rows,
+                                                   n_packets, seed):
+    env = Environment()
+    mesh = Mesh2D(env, cols, rows)
+    rng = np.random.default_rng(seed)
+    destinations = {}
+    for index in range(n_packets):
+        src = (int(rng.integers(cols)), int(rng.integers(rows)))
+        dst = (int(rng.integers(cols)), int(rng.integers(rows)))
+        mesh.send(Packet(src=src, dst=dst, plane=DMA_REQUEST_PLANE,
+                         kind=MessageKind.DMA_REQ, payload_flits=3,
+                         tag=f"t{index}"))
+        destinations.setdefault(dst, []).append(f"t{index}")
+    env.run()
+    assert mesh.packets_delivered == n_packets
+    ejected = []
+    for coord, tags in destinations.items():
+        inbox = mesh.inbox(coord, DMA_REQUEST_PLANE)
+        while True:
+            packet = inbox.try_get()
+            if packet is None:
+                break
+            ejected.append(packet.tag)
+    assert sorted(ejected) == sorted(f"t{i}" for i in range(n_packets))

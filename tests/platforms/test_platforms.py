@@ -1,0 +1,105 @@
+"""Tests for baseline platform models and the FPGA power model."""
+
+import pytest
+
+from repro.hls import ResourceEstimate
+from repro.platforms import (
+    ANALYTIC_I7,
+    DEFAULT_POWER_MODEL,
+    INTEL_I7_8700K,
+    JETSON_TX1,
+    KERNEL_FLOPS,
+    PAPER_FPS,
+    PowerModel,
+    derive_kernel_fps,
+    soc_power_watts,
+)
+
+
+class TestCalibration:
+    def test_classifier_anchored_to_multitile_column(self):
+        fps = derive_kernel_fps("i7")
+        assert fps["classifier"] == PAPER_FPS["i7"]["multitile"]
+
+    def test_serial_composition_recovers_table1(self):
+        """Composing the derived kernels must reproduce the app rows."""
+        for platform, model in (("i7", INTEL_I7_8700K),
+                                ("jetson", JETSON_TX1)):
+            assert model.app_fps(["night_vision", "classifier"]) == \
+                pytest.approx(PAPER_FPS[platform]["nv_cl"], rel=1e-6)
+            assert model.app_fps(["denoiser", "classifier"]) == \
+                pytest.approx(PAPER_FPS[platform]["de_cl"], rel=1e-6)
+            assert model.app_fps(["classifier"]) == \
+                pytest.approx(PAPER_FPS[platform]["multitile"], rel=1e-6)
+
+    def test_night_vision_is_the_cpu_bottleneck(self):
+        # The paper: i7 wins everywhere except NV ("a single-threaded
+        # program").
+        fps = derive_kernel_fps("i7")
+        assert fps["night_vision"] < fps["classifier"] / 10
+
+
+class TestSoftwarePlatform:
+    def test_app_fps_slower_than_slowest_kernel(self):
+        fps = INTEL_I7_8700K.app_fps(["night_vision", "classifier"])
+        assert fps < INTEL_I7_8700K.fps_for("night_vision")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            INTEL_I7_8700K.fps_for("transformer")
+
+    def test_empty_app(self):
+        with pytest.raises(ValueError):
+            INTEL_I7_8700K.app_fps([])
+
+    def test_energy_uses_paper_power(self):
+        fpj = INTEL_I7_8700K.app_frames_per_joule(["classifier"])
+        assert fpj == pytest.approx(
+            PAPER_FPS["i7"]["multitile"] / 78.6)
+
+    def test_jetson_uses_gpu_power(self):
+        assert JETSON_TX1.power_watts == 10.0
+
+
+class TestAnalyticModel:
+    def test_tracks_anchor_within_tolerance(self):
+        measured = ANALYTIC_I7.fps_for("classifier")
+        assert measured == pytest.approx(PAPER_FPS["i7"]["multitile"],
+                                         rel=0.05)
+
+    def test_flops_table_matches_topologies(self):
+        assert KERNEL_FLOPS["classifier"] == 2 * 305_472
+        assert KERNEL_FLOPS["denoiser"] == 2 * 425_984
+
+
+class TestPowerModel:
+    def test_scales_with_resources(self):
+        small = DEFAULT_POWER_MODEL.dynamic_watts(
+            ResourceEstimate(luts=10_000))
+        large = DEFAULT_POWER_MODEL.dynamic_watts(
+            ResourceEstimate(luts=500_000))
+        assert large > small > DEFAULT_POWER_MODEL.base_watts
+
+    def test_scales_with_clock(self):
+        usage = ResourceEstimate(luts=100_000, brams=100, dsps=100)
+        at78 = DEFAULT_POWER_MODEL.dynamic_watts(usage, clock_mhz=78.0)
+        at156 = DEFAULT_POWER_MODEL.dynamic_watts(usage, clock_mhz=156.0)
+        assert at156 == pytest.approx(2 * at78)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            DEFAULT_POWER_MODEL.dynamic_watts(ResourceEstimate(),
+                                              clock_mhz=0)
+
+    def test_paper_design_points(self):
+        """The two Table I power cells are fit exactly by construction."""
+        from repro.eval import build_soc1, build_soc2
+        assert soc_power_watts(build_soc1()) == pytest.approx(1.70,
+                                                              abs=0.02)
+        assert soc_power_watts(build_soc2()) == pytest.approx(0.98,
+                                                              abs=0.02)
+
+    def test_custom_model(self):
+        model = PowerModel(base_watts=1.0, watts_per_lut=0.0,
+                           watts_per_bram=0.0, watts_per_dsp=0.0)
+        assert model.dynamic_watts(ResourceEstimate(luts=10**6)) == 1.0

@@ -1,0 +1,123 @@
+"""Tests for the dataflow specification (graph structure + validation)."""
+
+import pytest
+
+from repro.runtime import Dataflow, DataflowEdge, chain, replicated_stage
+
+
+class TestConstruction:
+    def test_needs_devices(self):
+        with pytest.raises(ValueError):
+            Dataflow(name="empty", devices=[])
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(ValueError):
+            Dataflow(name="dup", devices=["a", "a"])
+
+    def test_edge_references_must_exist(self):
+        with pytest.raises(ValueError):
+            Dataflow(name="bad", devices=["a"],
+                     edges=[DataflowEdge("a", "ghost")])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            DataflowEdge("a", "a")
+
+
+class TestLevels:
+    def test_single_node(self):
+        df = Dataflow(name="one", devices=["a"])
+        assert df.levels() == [["a"]]
+
+    def test_chain_levels(self):
+        df = chain("c", ["a", "b", "c"])
+        assert df.levels() == [["a"], ["b"], ["c"]]
+
+    def test_parallel_roots(self):
+        df = replicated_stage("r", ["p0", "p1"], ["c0", "c1"])
+        assert df.levels() == [["p0", "p1"], ["c0", "c1"]]
+
+    def test_gather(self):
+        df = replicated_stage("g", ["p0", "p1", "p2", "p3"], ["c0"])
+        assert df.levels() == [["p0", "p1", "p2", "p3"], ["c0"]]
+        assert df.producers_of("c0") == ["p0", "p1", "p2", "p3"]
+
+    def test_cycle_detected(self):
+        df = Dataflow(name="cyc", devices=["a", "b"],
+                      edges=[DataflowEdge("a", "b"), DataflowEdge("b", "a")])
+        with pytest.raises(ValueError, match="cycle"):
+            df.levels()
+
+    def test_level_skip_rejected(self):
+        df = Dataflow(name="skip", devices=["a", "b", "c"],
+                      edges=[DataflowEdge("a", "b"), DataflowEdge("b", "c"),
+                             DataflowEdge("a", "c")])
+        with pytest.raises(ValueError, match="skips a level"):
+            df.validate()
+
+
+class TestSourceRotation:
+    def test_pairwise(self):
+        df = replicated_stage("r", ["p0", "p1"], ["c0", "c1"])
+        assert df.source_rotation("c0") == ["p0"]
+        assert df.source_rotation("c1") == ["p1"]
+
+    def test_gather_rotation_order(self):
+        df = replicated_stage("g", ["p0", "p1", "p2", "p3"], ["c0"])
+        assert df.source_rotation("c0") == ["p0", "p1", "p2", "p3"]
+
+    def test_two_to_four(self):
+        # 2 producers, 4 consumers: consumer j's frames come from
+        # producer (j + 4t) mod 2 = j mod 2 always.
+        df = Dataflow(
+            name="x",
+            devices=["p0", "p1", "c0", "c1", "c2", "c3"],
+            edges=[DataflowEdge("p0", "c0"), DataflowEdge("p1", "c1"),
+                   DataflowEdge("p0", "c2"), DataflowEdge("p1", "c3")])
+        assert df.source_rotation("c0") == ["p0"]
+        assert df.source_rotation("c3") == ["p1"]
+
+    def test_rotation_mismatch_detected(self):
+        # c0 is wired to p1 only, but the interleaving needs p0 and p1.
+        df = Dataflow(name="bad", devices=["p0", "p1", "c0"],
+                      edges=[DataflowEdge("p1", "c0")])
+        with pytest.raises(ValueError, match="do not match"):
+            df.source_rotation("c0")
+
+    def test_root_has_no_rotation(self):
+        df = chain("c", ["a", "b"])
+        with pytest.raises(ValueError):
+            df.source_rotation("a")
+
+
+class TestP2PValidation:
+    def test_fanout_rejected_for_p2p(self):
+        df = replicated_stage("f", ["p0"], ["c0", "c1"])
+        df.validate()   # fine for DMA modes
+        with pytest.raises(ValueError, match="FIFO order"):
+            df.validate_for_p2p()
+
+    def test_max_sources_enforced(self):
+        producers = [f"p{i}" for i in range(5)]
+        df = replicated_stage("g", producers, ["c0"])
+        with pytest.raises(ValueError, match="at most 4"):
+            df.validate()
+
+    def test_paper_configs_pass(self):
+        replicated_stage("a", ["nv0"], ["cl0"]).validate_for_p2p()
+        replicated_stage("b", [f"nv{i}" for i in range(4)],
+                         ["cl0"]).validate_for_p2p()
+        replicated_stage("c", [f"nv{i}" for i in range(4)],
+                         [f"cl{i}" for i in range(4)]).validate_for_p2p()
+        chain("d", [f"part{i}" for i in range(5)]).validate_for_p2p()
+
+
+class TestHelpers:
+    def test_chain_edges(self):
+        df = chain("c", ["a", "b", "c"])
+        assert len(df.edges) == 2
+        assert df.consumers_of("a") == ["b"]
+
+    def test_replicated_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            replicated_stage("bad", ["p0", "p1"], ["c0", "c1", "c2"])

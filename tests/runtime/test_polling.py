@@ -1,0 +1,93 @@
+"""Tests for polling-mode completion (vs interrupt-driven)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import EspRuntime, RuntimeCosts, chain
+from repro.soc import STATUS_REG
+from tests.conftest import make_soc, make_spec
+
+
+def pipeline_specs():
+    return [("a0", make_spec(name="a", input_words=8, output_words=8,
+                             latency=500)),
+            ("b0", make_spec(name="b", input_words=8, output_words=8,
+                             latency=300))]
+
+
+def run(completion, poll_interval=200, mode="pipe", n_frames=8):
+    soc = make_soc(pipeline_specs())
+    runtime = EspRuntime(soc, costs=RuntimeCosts(
+        completion=completion, poll_interval_cycles=poll_interval))
+    frames = np.random.default_rng(0).uniform(0, 1, (n_frames, 8))
+    result = runtime.esp_run(chain("ab", ["a0", "b0"]), frames,
+                             mode=mode)
+    return result, soc
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeCosts(completion="spin")
+        with pytest.raises(ValueError):
+            RuntimeCosts(completion="poll", poll_interval_cycles=0)
+
+
+class TestPolling:
+    @pytest.mark.parametrize("mode", ["base", "pipe", "p2p"])
+    def test_same_outputs_as_irq(self, mode):
+        irq_result, _ = run("irq", mode=mode)
+        poll_result, _ = run("poll", mode=mode)
+        np.testing.assert_array_equal(irq_result.outputs,
+                                      poll_result.outputs)
+
+    def test_polling_issues_status_reads(self):
+        _, soc = run("poll")
+        assert soc.cpu.reg_reads > 0
+        _, soc_irq = run("irq")
+        assert soc_irq.cpu.reg_reads == 0
+
+    def test_polling_adds_completion_latency(self):
+        irq_result, _ = run("irq")
+        poll_result, _ = run("poll", poll_interval=400)
+        assert poll_result.cycles > irq_result.cycles
+
+    def test_finer_polling_reduces_latency_but_costs_reads(self):
+        coarse, soc_coarse = run("poll", poll_interval=1000)
+        fine, soc_fine = run("poll", poll_interval=50)
+        assert fine.cycles < coarse.cycles
+        assert soc_fine.cpu.reg_reads > soc_coarse.cpu.reg_reads
+
+    def test_status_read_roundtrip_primitive(self):
+        """The register-read path used by the polling driver."""
+        soc = make_soc(pipeline_specs())
+        tile = soc.accelerator("a0")
+        values = []
+
+        def proc():
+            value = yield from soc.cpu.read_reg(tile.coord, STATUS_REG)
+            values.append(value)
+            value = yield from soc.cpu.read_reg(tile.coord,
+                                                "SRC_OFFSET_REG")
+            values.append(value)
+
+        done = soc.env.process(proc())
+        soc.run(until=done)
+        assert values == [0, 0]
+
+    def test_concurrent_reads_demuxed(self):
+        soc = make_soc(pipeline_specs())
+        a = soc.accelerator("a0")
+        b = soc.accelerator("b0")
+        a.regs._values["SRC_OFFSET_REG"] = 111
+        b.regs._values["SRC_OFFSET_REG"] = 222
+        got = {}
+
+        def reader(key, coord):
+            got[key] = yield from soc.cpu.read_reg(coord,
+                                                   "SRC_OFFSET_REG")
+
+        soc.env.process(reader("a", a.coord))
+        soc.env.process(reader("b", b.coord))
+        soc.run()
+        assert got == {"a": 111, "b": 222}

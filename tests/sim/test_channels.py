@@ -1,0 +1,274 @@
+"""Tests for FIFO channels, resources, semaphores and barriers."""
+
+import pytest
+
+from repro.sim import Barrier, Environment, Fifo, Resource, Semaphore, SimulationError
+
+
+def run(env):
+    env.run()
+
+
+class TestFifo:
+    def test_put_then_get(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=4)
+        got = []
+
+        def producer(env):
+            for i in range(3):
+                yield fifo.put(i)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield fifo.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        run(env)
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        fifo = Fifo(env)
+        got = []
+
+        def consumer(env):
+            item = yield fifo.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(10)
+            yield fifo.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        run(env)
+        assert got == [(10, "late")]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield fifo.put("a")
+            times.append(env.now)
+            yield fifo.put("b")  # blocks until consumer frees a slot
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield fifo.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        run(env)
+        assert times == [0, 5]
+
+    def test_fifo_ordering_preserved_under_backpressure(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=2)
+        got = []
+
+        def producer(env):
+            for i in range(10):
+                yield fifo.put(i)
+
+        def consumer(env):
+            for _ in range(10):
+                yield env.timeout(1)
+                got.append((yield fifo.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        run(env)
+        assert got == list(range(10))
+
+    def test_try_put_try_get(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=1)
+        assert fifo.try_get() is None
+        assert fifo.try_put("x") is True
+        assert fifo.try_put("y") is False
+        assert fifo.try_get() == "x"
+
+    def test_counters(self):
+        env = Environment()
+        fifo = Fifo(env)
+
+        def proc(env):
+            yield fifo.put(1)
+            yield fifo.put(2)
+            yield fifo.get()
+
+        env.process(proc(env))
+        run(env)
+        assert fifo.total_puts == 2
+        assert fifo.total_gets == 1
+        assert len(fifo) == 1
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Fifo(env, capacity=0)
+
+
+class TestResource:
+    def test_exclusive_access_serializes(self):
+        env = Environment()
+        res = Resource(env, slots=1)
+        spans = []
+
+        def worker(env, tag):
+            yield res.acquire()
+            start = env.now
+            yield env.timeout(10)
+            res.release()
+            spans.append((tag, start, env.now))
+
+        for tag in ("a", "b"):
+            env.process(worker(env, tag))
+        run(env)
+        assert spans == [("a", 0, 10), ("b", 10, 20)]
+
+    def test_multiple_slots_allow_overlap(self):
+        env = Environment()
+        res = Resource(env, slots=2)
+        ends = []
+
+        def worker(env):
+            yield res.acquire()
+            yield env.timeout(10)
+            res.release()
+            ends.append(env.now)
+
+        for _ in range(2):
+            env.process(worker(env))
+        run(env)
+        assert ends == [10, 10]
+
+    def test_release_idle_is_an_error(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_utilization_tracks_busy_time(self):
+        env = Environment()
+        res = Resource(env)
+
+        def worker(env):
+            yield env.timeout(5)
+            yield res.acquire()
+            yield env.timeout(10)
+            res.release()
+            yield env.timeout(5)
+
+        env.process(worker(env))
+        run(env)
+        assert env.now == 20
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_waiters_fifo(self):
+        env = Environment()
+        res = Resource(env)
+        order = []
+
+        def worker(env, tag):
+            yield res.acquire()
+            yield env.timeout(1)
+            res.release()
+            order.append(tag)
+
+        for tag in range(5):
+            env.process(worker(env, tag))
+        run(env)
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestSemaphore:
+    def test_wait_after_post_does_not_block(self):
+        env = Environment()
+        sem = Semaphore(env, value=1)
+        times = []
+
+        def proc(env):
+            yield sem.wait()
+            times.append(env.now)
+
+        env.process(proc(env))
+        run(env)
+        assert times == [0]
+
+    def test_wait_blocks_until_post(self):
+        env = Environment()
+        sem = Semaphore(env)
+        times = []
+
+        def waiter(env):
+            yield sem.wait()
+            times.append(env.now)
+
+        def poster(env):
+            yield env.timeout(8)
+            sem.post()
+
+        env.process(waiter(env))
+        env.process(poster(env))
+        run(env)
+        assert times == [8]
+
+    def test_post_count(self):
+        env = Environment()
+        sem = Semaphore(env)
+        woken = []
+
+        def waiter(env, tag):
+            yield sem.wait()
+            woken.append(tag)
+
+        for tag in range(3):
+            env.process(waiter(env, tag))
+
+        def poster(env):
+            yield env.timeout(1)
+            sem.post(count=3)
+
+        env.process(poster(env))
+        run(env)
+        assert woken == [0, 1, 2]
+
+
+class TestBarrier:
+    def test_barrier_releases_all_at_last_arrival(self):
+        env = Environment()
+        barrier = Barrier(env, parties=3)
+        times = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            yield barrier.wait()
+            times.append(env.now)
+
+        for delay in (1, 5, 9):
+            env.process(proc(env, delay))
+        run(env)
+        assert times == [9, 9, 9]
+
+    def test_barrier_is_reusable(self):
+        env = Environment()
+        barrier = Barrier(env, parties=2)
+        times = []
+
+        def proc(env, delays):
+            for delay in delays:
+                yield env.timeout(delay)
+                yield barrier.wait()
+                times.append(env.now)
+
+        env.process(proc(env, [1, 1]))
+        env.process(proc(env, [3, 4]))
+        run(env)
+        assert times == [3, 3, 7, 7]
