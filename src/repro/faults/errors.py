@@ -1,0 +1,50 @@
+"""Exception taxonomy of the fault/recovery subsystem."""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for fault-model failures."""
+
+
+class AcceleratorTimeout(FaultError):
+    """A device did not complete within the allowed wait.
+
+    Raised by the executor's polling guard (``max_wait_cycles``) and by
+    the watchdog path when recovery is disabled.
+    """
+
+    def __init__(self, device: str, waited_cycles: int,
+                 detail: str = "") -> None:
+        self.device = device
+        self.waited_cycles = waited_cycles
+        message = (f"accelerator {device!r} did not signal completion "
+                   f"within {waited_cycles} cycles")
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class KernelCrash(FaultError):
+    """An injected accelerator-kernel crash (fault kind ``acc_crash``)."""
+
+    def __init__(self, device: str) -> None:
+        self.device = device
+        super().__init__(f"kernel of accelerator {device!r} crashed")
+
+
+class NodeFailed(FaultError):
+    """A pipeline node failed permanently (retries exhausted).
+
+    In streaming (p2p) mode this aborts the run so the executor can
+    degrade gracefully: reset the fabric, mark the device failed and
+    re-execute the pipeline with the failed node in software.
+    """
+
+    def __init__(self, device: str, reason: str = "") -> None:
+        self.device = device
+        self.reason = reason
+        message = f"pipeline node {device!r} failed permanently"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)

@@ -102,6 +102,13 @@ class Mesh2D:
         self.total_latency = 0
         self.delivered_by_kind: Dict[MessageKind, int] = {}
 
+        # Fault hook: a FaultInjector consulted at packet ejection
+        # (None by default — the hook then costs nothing and timing is
+        # identical to a fault-free build).
+        self.fault_injector = None
+        self.packets_dropped = 0
+        self.packets_corrupted = 0
+
     # -- topology helpers --------------------------------------------------
 
     def coords(self) -> List[Coord]:
@@ -148,6 +155,21 @@ class Mesh2D:
                 link.record(packet.size_flits)
                 link.channel.release()
             self.flit_hops += packet.size_flits * len(held)
+        if self.fault_injector is not None:
+            # Delivery faults strike after the wormhole released every
+            # link, so a lost packet never leaves a stuck channel: the
+            # loss is visible only as a missing ejection (and a
+            # watchdog timeout at whoever was waiting for it).
+            action = self.fault_injector.on_deliver(packet, self.env.now)
+            if action == "drop":
+                self.packets_dropped += 1
+                return packet
+            if action == "corrupt":
+                # Link-level CRC catches the mangled payload at
+                # ejection and discards it — corruption is detected,
+                # never silently delivered.
+                self.packets_corrupted += 1
+                return packet
         packet.delivered_at = self.env.now
         self.packets_delivered += 1
         self.total_latency += packet.latency

@@ -1,5 +1,6 @@
 """The ESP4ML software runtime: driver, allocator, dataflow, executor."""
 
+from ..faults import AcceleratorTimeout, NodeFailed, RecoveryPolicy
 from .driver import DeviceRegistry, EspDevice
 from .alloc import Buffer, ContigAllocator
 from .dataflow import (
@@ -21,6 +22,7 @@ from .api import EspRuntime
 from .codegen import emit_dataflow_header, emit_user_app
 
 __all__ = [
+    "AcceleratorTimeout",
     "Buffer",
     "COMM_KINDS",
     "ContigAllocator",
@@ -32,7 +34,9 @@ __all__ = [
     "EspDevice",
     "EspRuntime",
     "ExecutionPlan",
+    "NodeFailed",
     "NodePlan",
+    "RecoveryPolicy",
     "RunResult",
     "RuntimeCosts",
     "chain",

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..faults import RecoveryPolicy
 from ..soc import SoCInstance
 from .alloc import Buffer, ContigAllocator
 from .dataflow import Dataflow
@@ -26,13 +27,15 @@ class EspRuntime:
     """
 
     def __init__(self, soc: SoCInstance,
-                 costs: Optional[RuntimeCosts] = None) -> None:
+                 costs: Optional[RuntimeCosts] = None,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.soc = soc
         self.registry = DeviceRegistry()
         self.registry.probe(soc)
         self.allocator = ContigAllocator(soc.memory_map)
         self.executor = DataflowExecutor(soc, self.registry,
-                                         self.allocator, costs=costs)
+                                         self.allocator, costs=costs,
+                                         recovery=recovery)
 
     # -- libesp ----------------------------------------------------------
 

@@ -19,7 +19,7 @@ programs ``P2P_REG``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..soc import AcceleratorTile, LOCATION_REG, SoCInstance, decode_location
 
@@ -47,13 +47,27 @@ class DeviceRegistry:
     def __init__(self) -> None:
         self._devices: Dict[str, EspDevice] = {}
         self._probe_order: List[str] = []
+        self._failed: Set[str] = set()
 
     def probe(self, soc: SoCInstance) -> None:
-        """Discover every accelerator tile of the SoC (driver probe)."""
+        """Discover every accelerator tile of the SoC (driver probe).
+
+        Idempotent: re-probing a SoC (driver reload, hot-plug rescan)
+        leaves already-registered devices in place and clears their
+        failed marks — a rescan is how a repaired device rejoins the
+        pool. A name that resolves to a *different* tile is still an
+        error (two devices claiming one name).
+        """
         for name in sorted(soc.accelerators):
             tile = soc.accelerators[name]
-            if name in self._devices:
-                raise ValueError(f"device {name!r} probed twice")
+            existing = self._devices.get(name)
+            if existing is not None:
+                if existing.tile is not tile:
+                    raise ValueError(
+                        f"device {name!r} probed twice with different "
+                        f"tiles ({existing.coord} vs {tile.coord})")
+                self._failed.discard(name)
+                continue
             device = EspDevice(name=name, spec_name=tile.spec.name,
                                coord=tile.coord, tile=tile)
             if device.location != tile.coord:
@@ -62,6 +76,30 @@ class DeviceRegistry:
                     f"tile is at {tile.coord}")
             self._devices[name] = device
             self._probe_order.append(name)
+
+    def remove(self, name: str) -> None:
+        """Unregister a device (driver unbind / tile decommissioned)."""
+        if name not in self._devices:
+            raise KeyError(f"no device named {name!r} to remove")
+        del self._devices[name]
+        self._probe_order.remove(name)
+        self._failed.discard(name)
+
+    def mark_failed(self, name: str) -> None:
+        """Flag a device as unusable (recovery exhausted its retries).
+
+        The device stays in the list — user space can still resolve its
+        name — but the executor routes its work to the software
+        fallback until a re-probe clears the mark.
+        """
+        self.by_name(name)   # raises KeyError for unknown names
+        self._failed.add(name)
+
+    def is_failed(self, name: str) -> bool:
+        return name in self._failed
+
+    def failed_names(self) -> List[str]:
+        return sorted(self._failed)
 
     def by_name(self, name: str) -> EspDevice:
         if name not in self._devices:

@@ -28,9 +28,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..sim import Counter
+from ..faults import AcceleratorTimeout, NodeFailed, RecoveryPolicy
+from ..sim import Counter, Process
 from ..soc import (
     CMD_REG,
+    CMD_RESET,
     CMD_START,
     COHERENCE_LLC,
     COHERENCE_NON_COHERENT,
@@ -43,6 +45,8 @@ from ..soc import (
     P2P_REG,
     SRC_OFFSET_REG,
     SRC_STRIDE_REG,
+    STATUS_DONE,
+    STATUS_REG,
     SoCInstance,
 )
 from .alloc import Buffer, ContigAllocator
@@ -68,6 +72,11 @@ class RuntimeCosts:
     sync_cycles: int = 40            # semaphore wait/post pair
     completion: str = "irq"          # "irq" | "poll"
     poll_interval_cycles: int = 200
+    #: Upper bound on the STATUS_REG poll loop, in cycles. ``None``
+    #: (the default) preserves the unbounded spin of the original
+    #: driver; a bound turns a dead accelerator into a descriptive
+    #: :class:`~repro.faults.AcceleratorTimeout` instead of a hang.
+    max_wait_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.completion not in ("irq", "poll"):
@@ -76,6 +85,8 @@ class RuntimeCosts:
                 f"{self.completion!r}")
         if self.poll_interval_cycles < 1:
             raise ValueError("poll_interval_cycles must be >= 1")
+        if self.max_wait_cycles is not None and self.max_wait_cycles < 1:
+            raise ValueError("max_wait_cycles must be >= 1 (or None)")
 
 
 @dataclass
@@ -131,6 +142,11 @@ class RunResult:
     dram_accesses: int
     ioctl_calls: int
     outputs: np.ndarray = field(repr=False)
+    # Recovery accounting (all zero on a fault-free run).
+    retries: int = 0
+    watchdog_timeouts: int = 0
+    software_frames: int = 0
+    degraded: bool = False
 
     @property
     def seconds(self) -> float:
@@ -151,12 +167,24 @@ class DataflowExecutor:
 
     def __init__(self, soc: SoCInstance, registry: DeviceRegistry,
                  allocator: ContigAllocator,
-                 costs: Optional[RuntimeCosts] = None) -> None:
+                 costs: Optional[RuntimeCosts] = None,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.soc = soc
         self.registry = registry
         self.allocator = allocator
         self.costs = costs or RuntimeCosts()
+        #: ``None`` (the default) keeps the original fail-stop runtime:
+        #: every wait is unbounded and the execution path is exactly the
+        #: non-robust one (pay-for-what-you-use). A policy arms the
+        #: per-invocation watchdog, bounded retry and software fallback.
+        self.recovery = recovery
         self.ioctl_calls = 0
+        # Recovery accounting (totals across runs).
+        self.retries = 0
+        self.watchdog_timeouts = 0
+        self.software_frames = 0
+        self.degraded_runs = 0
+        self._threads: List[Process] = []
 
     # -- planning ----------------------------------------------------------
 
@@ -247,16 +275,14 @@ class DataflowExecutor:
 
     # -- driver-level invocation --------------------------------------------
 
-    def _invoke(self, node: NodePlan, src_offset: int, dst_offset: int,
-                n_frames: int, p2p: P2PConfig, src_stride: int = 0,
-                dst_stride: int = 0, coherent: bool = False,
-                divider: int = 1):
-        """Configure the device over the NoC, start it, await its IRQ."""
+    def _program_and_start(self, node: NodePlan, src_offset: int,
+                           dst_offset: int, n_frames: int, p2p: P2PConfig,
+                           src_stride: int, dst_stride: int,
+                           coherent: bool, divider: int):
+        """The driver's register-programming sequence, ending CMD_START."""
         env = self.soc.env
         cpu = self.soc.cpu
         coord = node.device.coord
-        self.ioctl_calls += 1
-        yield env.timeout(self.costs.ioctl_cycles)
         writes = (
             (SRC_OFFSET_REG, src_offset),
             (DST_OFFSET_REG, dst_offset),
@@ -272,17 +298,177 @@ class DataflowExecutor:
         for reg, value in writes:
             yield env.timeout(self.costs.reg_write_cycles)
             yield from cpu.write_reg(coord, reg, value)
+
+    def _invoke(self, node: NodePlan, src_offset: int, dst_offset: int,
+                n_frames: int, p2p: P2PConfig, src_stride: int = 0,
+                dst_stride: int = 0, coherent: bool = False,
+                divider: int = 1):
+        """Configure the device over the NoC, start it, await its IRQ."""
+        env = self.soc.env
+        cpu = self.soc.cpu
+        coord = node.device.coord
+        self.ioctl_calls += 1
+        yield env.timeout(self.costs.ioctl_cycles)
+        yield from self._program_and_start(
+            node, src_offset, dst_offset, n_frames, p2p, src_stride,
+            dst_stride, coherent, divider)
         if self.costs.completion == "poll":
-            from ..soc import STATUS_DONE, STATUS_REG
+            poll_start = env.now
             while True:
                 yield env.timeout(self.costs.poll_interval_cycles)
                 status = yield from cpu.read_reg(coord, STATUS_REG)
                 if status == STATUS_DONE:
                     break
+                if (self.costs.max_wait_cycles is not None
+                        and env.now - poll_start
+                        >= self.costs.max_wait_cycles):
+                    raise AcceleratorTimeout(
+                        node.name, env.now - poll_start,
+                        detail=f"STATUS_REG stayed {status} past "
+                               f"max_wait_cycles="
+                               f"{self.costs.max_wait_cycles}")
             # Drain the (unmasked) completion interrupt.
             yield from cpu.wait_irq(node.name)
         else:
             yield from cpu.wait_irq(node.name)
+
+    def _await_completion(self, node: NodePlan, watchdog_cycles: int):
+        """IRQ race against the watchdog; True when the IRQ arrived.
+
+        On timeout the pending IRQ getter is withdrawn so a late
+        interrupt parks in the queue (drained before the next attempt)
+        instead of resuming a waiter that gave up.
+        """
+        env = self.soc.env
+        cpu = self.soc.cpu
+        irq = cpu.irq_event(node.name)
+        yield env.any_of([irq, env.timeout(watchdog_cycles)])
+        if irq.triggered:
+            return True
+        cpu.cancel_irq(node.name, irq)
+        return False
+
+    def _invoke_guarded(self, node: NodePlan, src_offset: int,
+                        dst_offset: int, n_frames: int, p2p: P2PConfig,
+                        src_stride: int, dst_stride: int, coherent: bool,
+                        divider: int, max_attempts: int):
+        """Watchdogged invocation with bounded retry; True on success.
+
+        Each attempt programs and starts the device, then races its
+        completion IRQ against ``recovery.watchdog_for(attempt)`` (the
+        exponential backoff stretches the window for a slow but live
+        device). A missed watchdog or a completion whose STATUS_REG is
+        not DONE (kernel crash, lost packet) triggers a hardware
+        CMD_RESET of the socket before the next attempt. Completion is
+        always observed through the interrupt here, even under
+        ``completion="poll"`` costs: the watchdog subsumes the poll
+        loop's purpose.
+        """
+        env = self.soc.env
+        cpu = self.soc.cpu
+        coord = node.device.coord
+        policy = self.recovery
+        self.ioctl_calls += 1
+        yield env.timeout(self.costs.ioctl_cycles)
+        for attempt in range(max_attempts):
+            if attempt:
+                self.retries += 1
+            # Drain interrupts a previous (abandoned) attempt left over.
+            while cpu.try_irq(node.name) is not None:
+                pass
+            yield from self._program_and_start(
+                node, src_offset, dst_offset, n_frames, p2p, src_stride,
+                dst_stride, coherent, divider)
+            arrived = yield from self._await_completion(
+                node, policy.watchdog_for(attempt))
+            if arrived:
+                status = yield from cpu.read_reg_bounded(
+                    coord, STATUS_REG, policy.watchdog_cycles)
+                if status == STATUS_DONE:
+                    return True
+            else:
+                self.watchdog_timeouts += 1
+            # Recover the socket: abort whatever is (not) running.
+            yield env.timeout(self.costs.reg_write_cycles)
+            yield from cpu.write_reg(coord, CMD_REG, CMD_RESET)
+            yield env.timeout(policy.reset_cycles)
+        return False
+
+    def _software_node(self, node: NodePlan, src_offset: int,
+                       dst_offset: int, n_frames: int,
+                       src_stride: int = 0, dst_stride: int = 0):
+        """Graceful degradation: run the node's kernel on the CPU.
+
+        Bit-exact with the accelerator (same NumPy kernel), but each
+        frame costs ``latency_cycles * software_slowdown`` — the
+        scalar-core penalty the paper's accelerators exist to avoid.
+        The compute delay also quiesces in-flight posted stores from
+        upstream accelerators before the CPU-side read.
+        """
+        env = self.soc.env
+        spec = node.spec
+        memory = self.soc.memory_map
+        src_step = src_stride or spec.input_words
+        dst_step = dst_stride or spec.output_words
+        cost = max(1, int(spec.latency_cycles
+                          * self.recovery.software_slowdown))
+        for index in range(n_frames):
+            yield env.timeout(cost)
+            frame = memory.read_words(src_offset + index * src_step,
+                                      spec.input_words)
+            memory.write_words(dst_offset + index * dst_step,
+                               spec.run(frame))
+            self.software_frames += 1
+
+    def _run_node(self, plan: ExecutionPlan, node: NodePlan,
+                  src_offset: int, dst_offset: int, n_frames: int,
+                  p2p: P2PConfig, src_stride: int = 0,
+                  dst_stride: int = 0):
+        """Dispatch one node invocation through the recovery policy.
+
+        Without a policy this is exactly the original `_invoke` path.
+        With one: a device already marked failed goes straight to the
+        software fallback; otherwise the guarded invocation runs, and
+        on permanent failure the device is marked failed and either
+        falls back to software (DMA transports — the data is in DRAM)
+        or raises :class:`NodeFailed` (p2p transports — the stream's
+        alignment with its peers is unrecoverable, the whole run must
+        degrade).
+        """
+        divider = plan.dvfs.get(node.name, 1)
+        if self.recovery is None:
+            yield from self._invoke(
+                node, src_offset, dst_offset, n_frames, p2p,
+                src_stride=src_stride, dst_stride=dst_stride,
+                coherent=plan.coherent, divider=divider)
+            return
+        policy = self.recovery
+        streaming = p2p.uses_p2p
+        if self.registry.is_failed(node.name):
+            if streaming:
+                raise NodeFailed(node.name,
+                                 "device marked failed; a p2p stream "
+                                 "cannot be serviced in software")
+            yield from self._software_node(node, src_offset, dst_offset,
+                                           n_frames, src_stride,
+                                           dst_stride)
+            return
+        # Retrying a p2p stream would desynchronize it from its peers
+        # (they hold partial progress), so streams get one attempt.
+        attempts = 1 if streaming else policy.max_retries + 1
+        ok = yield from self._invoke_guarded(
+            node, src_offset, dst_offset, n_frames, p2p, src_stride,
+            dst_stride, plan.coherent, divider, attempts)
+        if ok:
+            return
+        self.registry.mark_failed(node.name)
+        if streaming:
+            raise NodeFailed(node.name, "watchdog expired mid-stream")
+        if not policy.software_fallback:
+            raise NodeFailed(node.name, "retries exhausted and software "
+                                        "fallback disabled")
+        yield from self._software_node(node, src_offset, dst_offset,
+                                       n_frames, src_stride, dst_stride)
 
     # -- address helpers -------------------------------------------------------
 
@@ -311,9 +497,8 @@ class DataflowExecutor:
                                        frame, spec.input_words)
                 dst = self._frame_addr(self._dst_buffer(plan, level_idx),
                                        frame, spec.output_words)
-                yield from self._invoke(
-                    node, src, dst, 1, no_p2p, coherent=plan.coherent,
-                    divider=plan.dvfs.get(node.name, 1))
+                yield from self._run_node(plan, node, src, dst, 1,
+                                          no_p2p)
 
     # -- pipe mode -----------------------------------------------------------------
 
@@ -334,9 +519,7 @@ class DataflowExecutor:
                                    frame, spec.input_words)
             dst = self._frame_addr(self._dst_buffer(plan, node.level),
                                    frame, spec.output_words)
-            yield from self._invoke(
-                node, src, dst, 1, no_p2p, coherent=plan.coherent,
-                divider=plan.dvfs.get(node.name, 1))
+            yield from self._run_node(plan, node, src, dst, 1, no_p2p)
             counters[node.name].increment()
 
     def _pipe_main(self, plan: ExecutionPlan):
@@ -344,11 +527,13 @@ class DataflowExecutor:
         counters = {node.name: Counter(env, name=f"done:{node.name}")
                     for row in plan.levels for node in row}
         threads = []
+        self._threads = threads
         for row in plan.levels:
             for node in row:
                 yield env.timeout(self.costs.thread_spawn_cycles)
                 threads.append(env.process(
-                    self._pipe_thread(plan, node, counters)))
+                    self._pipe_thread(plan, node, counters),
+                    name=f"pipe-thread:{node.name}"))
         yield env.all_of(threads)
 
     # -- custom mode (per-edge communication) --------------------------------------
@@ -407,9 +592,7 @@ class DataflowExecutor:
 
             p2p = P2PConfig(store_enabled=store_p2p,
                             load_enabled=load_p2p, sources=sources)
-            yield from self._invoke(
-                node, src, dst, 1, p2p, coherent=plan.coherent,
-                divider=plan.dvfs.get(node.name, 1))
+            yield from self._run_node(plan, node, src, dst, 1, p2p)
             counters[node.name].increment()
 
     def _custom_main(self, plan: ExecutionPlan):
@@ -417,11 +600,13 @@ class DataflowExecutor:
         counters = {node.name: Counter(env, name=f"done:{node.name}")
                     for row in plan.levels for node in row}
         threads = []
+        self._threads = threads
         for row in plan.levels:
             for node in row:
                 yield env.timeout(self.costs.thread_spawn_cycles)
                 threads.append(env.process(
-                    self._custom_thread(plan, node, counters)))
+                    self._custom_thread(plan, node, counters),
+                    name=f"custom-thread:{node.name}"))
         yield env.all_of(threads)
 
     # -- p2p mode ------------------------------------------------------------------
@@ -450,20 +635,20 @@ class DataflowExecutor:
                             for name in rotation)
         p2p = P2PConfig(store_enabled=store_p2p, load_enabled=load_p2p,
                         sources=sources)
-        yield from self._invoke(node, src_offset, dst_offset,
-                                node.n_frames, p2p,
-                                src_stride=src_stride,
-                                dst_stride=dst_stride,
-                                coherent=plan.coherent,
-                                divider=plan.dvfs.get(node.name, 1))
+        yield from self._run_node(plan, node, src_offset, dst_offset,
+                                  node.n_frames, p2p,
+                                  src_stride=src_stride,
+                                  dst_stride=dst_stride)
 
     def _p2p_main(self, plan: ExecutionPlan):
         env = self.soc.env
         threads = []
+        self._threads = threads
         for row in plan.levels:
             for node in row:
                 yield env.timeout(self.costs.thread_spawn_cycles)
-                threads.append(env.process(self._p2p_thread(plan, node)))
+                threads.append(env.process(self._p2p_thread(plan, node),
+                                           name=f"p2p-thread:{node.name}"))
         yield env.all_of(threads)
 
     # -- entry point --------------------------------------------------------------------
@@ -491,11 +676,31 @@ class DataflowExecutor:
         env = self.soc.env
         dram_before = self.soc.memory_map.total_accesses
         ioctl_before = self.ioctl_calls
+        retries_before = self.retries
+        watchdogs_before = self.watchdog_timeouts
+        software_before = self.software_frames
         start = env.now
         mains = {"base": self._base_main, "pipe": self._pipe_main,
                  "p2p": self._p2p_main, "custom": self._custom_main}
-        done = env.process(mains[mode](plan))
-        env.run(until=done)
+        self._threads = []
+        done = env.process(mains[mode](plan),
+                           name=f"main:{mode}:{dataflow.name}")
+        degraded = False
+        try:
+            env.run(until=done)
+        except NodeFailed:
+            if self.recovery is None or not self.recovery.software_fallback:
+                raise
+            if done.is_alive:
+                # The failure escaped through a pipeline thread directly
+                # (a thread died before main observed it — e.g. during
+                # the staggered spawn loop, or two streams dying in the
+                # same cycle). Kill main now: left alive it would resume
+                # inside the quiesce drain and keep spawning threads for
+                # the aborted run.
+                done.interrupt("degraded re-run")
+            plan = self._degrade(plan, dataflow, frames, coherent, dvfs)
+            degraded = True
         cycles = env.now - start
         # Drain the schedule: stores are posted, so the final write may
         # still be in the memory tile's request queue when the IRQ
@@ -516,4 +721,42 @@ class DataflowExecutor:
             dram_accesses=self.soc.memory_map.total_accesses - dram_before,
             ioctl_calls=self.ioctl_calls - ioctl_before,
             outputs=outputs,
+            retries=self.retries - retries_before,
+            watchdog_timeouts=self.watchdog_timeouts - watchdogs_before,
+            software_frames=self.software_frames - software_before,
+            degraded=degraded,
         )
+
+    def _degrade(self, plan: ExecutionPlan, dataflow: Dataflow,
+                 frames: np.ndarray, coherent: bool,
+                 dvfs: Optional[Dict[str, int]]) -> ExecutionPlan:
+        """Graceful degradation after a p2p stream died permanently.
+
+        The failed streaming run cannot be patched in place (its peers
+        hold partial progress), so: cancel every surviving pipeline
+        thread, hardware-reset every tile of the plan, quiesce, then
+        re-run the whole batch in ``pipe`` mode — the failed device
+        (marked in the registry) executes in software there. Returns
+        the plan of the re-run, whose output buffer holds the results.
+        """
+        env = self.soc.env
+        self.degraded_runs += 1
+        for thread in self._threads:
+            if thread.is_alive:
+                thread.interrupt("degraded re-run")
+            else:
+                # A thread that already failed (e.g. a second NodeFailed
+                # racing the first) must not crash the quiesce below.
+                thread.__sim_defused__ = True  # type: ignore[attr-defined]
+        for row in plan.levels:
+            for node in row:
+                node.device.tile.host_reset()
+        env.run()   # drain aborted threads and in-flight hardware
+        replan = self.plan(dataflow, len(frames), "pipe",
+                           coherent=coherent, dvfs=dvfs)
+        replan.input_buffer.write(frames.reshape(-1))
+        self._threads = []
+        done = env.process(self._pipe_main(replan),
+                           name=f"main:degraded:{dataflow.name}")
+        env.run(until=done)
+        return replan

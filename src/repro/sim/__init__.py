@@ -4,8 +4,10 @@ from .kernel import (
     AllOf,
     AnyOf,
     Condition,
+    DeadlockError,
     Environment,
     Event,
+    Interrupt,
     Process,
     SimulationError,
     Timeout,
@@ -18,9 +20,11 @@ __all__ = [
     "Barrier",
     "Condition",
     "Counter",
+    "DeadlockError",
     "Environment",
     "Event",
     "Fifo",
+    "Interrupt",
     "Process",
     "Resource",
     "Semaphore",

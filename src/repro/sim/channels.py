@@ -51,6 +51,7 @@ class Fifo:
             self._accept(item)
             event.succeed()
         else:
+            event.wait_reason = f"put on full fifo {self.name!r}"
             self._putters.append((event, item))
         return event
 
@@ -62,8 +63,35 @@ class Fifo:
             self.total_gets += 1
             self._drain_putters()
         else:
+            event.wait_reason = f"get on empty fifo {self.name!r}"
             self._getters.append(event)
         return event
+
+    def waiters(self) -> dict:
+        """Introspect blocked endpoints: pending put/get events.
+
+        Used by the simulation deadlock detector and by backpressure
+        statistics; the returned events are the live wait objects, so
+        callers must not trigger them.
+        """
+        return {"putters": tuple(event for event, _ in self._putters),
+                "getters": tuple(self._getters)}
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending put/get event (watchdog gave up on it).
+
+        Returns True when the event was found and removed; False when
+        it was not waiting (already serviced, or never queued here).
+        """
+        for index, pending in enumerate(self._getters):
+            if pending is event:
+                del self._getters[index]
+                return True
+        for index, (pending, _) in enumerate(self._putters):
+            if pending is event:
+                del self._putters[index]
+                return True
+        return False
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False when the queue is full."""
@@ -80,6 +108,22 @@ class Fifo:
         self.total_gets += 1
         self._drain_putters()
         return item
+
+    def flush(self, drop_putters: bool = True) -> int:
+        """Discard queued items (hardware reset of the queue).
+
+        Pending putters are dropped too by default: their events stay
+        pending forever, which models an aborted producer that was
+        abandoned mid-handshake. Blocked getters are kept — a live
+        server keeps waiting for fresh data. Returns the number of
+        discarded items.
+        """
+        dropped = len(self.items)
+        self.items.clear()
+        if drop_putters:
+            dropped += len(self._putters)
+            self._putters.clear()
+        return dropped
 
     def _accept(self, item: Any) -> None:
         self.total_puts += 1
@@ -136,8 +180,21 @@ class Resource:
         if self._in_use < self.slots:
             self._grant(event)
         else:
+            event.wait_reason = f"acquire of busy resource {self.name!r}"
             self._waiters.append(event)
         return event
+
+    def waiters(self) -> tuple:
+        """The pending acquire events (deadlock/backpressure probes)."""
+        return tuple(self._waiters)
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending acquire (it will never be granted)."""
+        for index, pending in enumerate(self._waiters):
+            if pending is event:
+                del self._waiters[index]
+                return True
+        return False
 
     def release(self) -> None:
         """Return a previously granted slot."""
@@ -201,8 +258,13 @@ class Semaphore:
             self._value -= 1
             event.succeed()
         else:
+            event.wait_reason = f"wait on semaphore {self.name!r}"
             self._waiters.append(event)
         return event
+
+    def waiters(self) -> tuple:
+        """The pending wait events (deadlock/backpressure probes)."""
+        return tuple(self._waiters)
 
 
 class Counter:
@@ -238,8 +300,14 @@ class Counter:
         if self._value >= threshold:
             event.succeed(self._value)
         else:
+            event.wait_reason = (f"wait_until({threshold}) on counter "
+                                 f"{self.name!r} (value={self._value})")
             self._waiters.append((threshold, event))
         return event
+
+    def waiters(self) -> tuple:
+        """(threshold, event) pairs still below the counter value."""
+        return tuple(self._waiters)
 
 
 class Barrier:
@@ -254,6 +322,7 @@ class Barrier:
 
     def wait(self) -> Event:
         event = Event(self.env)
+        event.wait_reason = f"wait on barrier of {self.parties}"
         self._waiting.append(event)
         if len(self._waiting) >= self.parties:
             waiting, self._waiting = self._waiting, []

@@ -15,11 +15,47 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
     """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries whatever the interrupter passed to
+    :meth:`Process.interrupt` (e.g. the reason for an abort).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class DeadlockError(SimulationError):
+    """The schedule drained while the awaited event stayed pending.
+
+    This is how a hardware deadlock (a wedged p2p queue, a lost
+    packet, a mis-programmed pipeline) surfaces: instead of hanging the
+    event loop, the kernel reports **which processes are blocked on
+    which resources** so the failure is diagnosable.
+    """
+
+    def __init__(self, message: str,
+                 blocked: Optional[List[Tuple["Process", "Event"]]] = None
+                 ) -> None:
+        self.blocked = list(blocked or [])
+        if self.blocked:
+            lines = [message, "blocked processes:"]
+            for proc, target in self.blocked:
+                reason = getattr(target, "wait_reason", None) \
+                    or repr(target)
+                lines.append(f"  - process {proc.name!r} blocked on "
+                             f"{reason}")
+            message = "\n".join(lines)
+        super().__init__(message)
 
 
 class StopSimulation(Exception):
@@ -111,12 +147,15 @@ class Process(Event):
     """
 
     def __init__(self, env: "Environment",
-                 generator: Generator[Event, Any, Any]) -> None:
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
         super().__init__(env)
         if not hasattr(generator, "send"):
             raise TypeError(f"{generator!r} is not a generator")
         self._generator = generator
         self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        env._register_process(self)
         # Bootstrap: resume once at the current time.
         init = Event(env)
         init._value = None
@@ -126,6 +165,45 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently blocked on (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None, defuse: bool = True) -> None:
+        """Abort the process by raising :class:`Interrupt` inside it.
+
+        The process is detached from whatever event it was waiting on
+        and resumed with the exception at its current ``yield``. With
+        ``defuse`` (the default) an unhandled interrupt kills the
+        process quietly instead of crashing the event loop — the
+        executor uses this to cancel zombie pipeline threads when a
+        run is aborted for graceful degradation.
+        """
+        if not self.is_alive:
+            return
+        if self._target is not None \
+                and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        if defuse:
+            self.__sim_defused__ = True  # type: ignore[attr-defined]
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.__sim_defused__ = True  # type: ignore[attr-defined]
+        self.env._schedule(event)
+        event.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return (f"<{type(self).__name__} {self.name!r} {state} "
+                f"at t={self.env.now}>")
 
     def _resume(self, event: Event) -> None:
         self.env._active_proc = self
@@ -217,6 +295,8 @@ class Environment:
         self._queue: List = []
         self._eid = itertools.count()
         self._active_proc: Optional[Process] = None
+        self._processes: List[Process] = []
+        self._prune_at = 64
 
     @property
     def now(self) -> int:
@@ -235,14 +315,46 @@ class Environment:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator[Event, Any, Any]) -> Process:
-        return Process(self, generator)
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
+
+    # -- process bookkeeping (deadlock diagnosis) ------------------------
+
+    def _register_process(self, process: "Process") -> None:
+        self._processes.append(process)
+        if len(self._processes) > self._prune_at:
+            self._processes = [p for p in self._processes if p.is_alive]
+            self._prune_at = max(64, 2 * len(self._processes))
+
+    def blocked_processes(self) -> List[Tuple["Process", Event]]:
+        """Alive processes and the events they are blocked on.
+
+        The substrate of the deadlock detector: when the schedule
+        drains with work outstanding, this names who is stuck where
+        (channel wait events carry a ``wait_reason`` attribute naming
+        the resource).
+        """
+        self._processes = [p for p in self._processes if p.is_alive]
+        return [(p, p.target) for p in self._processes
+                if p.target is not None]
+
+    def deadlock_report(self) -> str:
+        """Human-readable listing of every blocked process."""
+        blocked = self.blocked_processes()
+        if not blocked:
+            return "no blocked processes"
+        lines = []
+        for proc, target in blocked:
+            reason = getattr(target, "wait_reason", None) or repr(target)
+            lines.append(f"process {proc.name!r} blocked on {reason}")
+        return "\n".join(lines)
 
     # -- scheduling / running --------------------------------------------
 
@@ -301,10 +413,18 @@ class Environment:
             if not stop_event.ok:
                 raise stop_event.value
             return stop_event.value
+        finally:
+            # If an unrelated exception (or a drain) exits this run
+            # before the stop event processes, its _stop callback must
+            # not stay armed — it would raise a stray StopSimulation
+            # out of a *later* run() call.
+            if stop_event is not None and stop_event.callbacks \
+                    and _stop in stop_event.callbacks:
+                stop_event.callbacks.remove(_stop)
         if stop_event is not None and not stop_event.triggered:
-            raise SimulationError(
+            raise DeadlockError(
                 "run(until=event) drained the schedule before the event "
-                "triggered")
+                "triggered", blocked=self.blocked_processes())
         if stop_time is not None:
             self._now = stop_time
         return None

@@ -8,15 +8,18 @@ logic, and — new in ESP4ML — the p2p communication service.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from ..accelerators.base import AcceleratorSpec
+from ..faults.errors import KernelCrash
 from ..noc import IO_PLANE, Mesh2D, MessageKind, Packet
-from ..sim import Environment, Semaphore
+from ..sim import Environment, Event, Semaphore
 from .dma import DmaEngine
 from .memory import MemoryMap
 from .registers import (
     CMD_REG,
+    CMD_RESET,
     CMD_START,
     COHERENCE_LLC,
     COHERENCE_REG,
@@ -28,6 +31,7 @@ from .registers import (
     SRC_OFFSET_REG,
     SRC_STRIDE_REG,
     STATUS_DONE,
+    STATUS_ERROR,
     STATUS_IDLE,
     STATUS_RUNNING,
 )
@@ -100,9 +104,16 @@ class AcceleratorTile:
         self.invocations: List[InvocationResult] = []
         self.frames_processed = 0
         self.busy_cycles = 0
+        self.resets = 0
+        self.kernel_crashes = 0
 
-        env.process(self._io_server())
-        env.process(self._run_loop())
+        # Fault hook (None = fault-free, zero overhead) and the reset
+        # line the host pulls through CMD_RESET to abort a wedged run.
+        self.fault_injector = None
+        self._abort: Optional[Event] = None
+
+        env.process(self._io_server(), name=f"io-server:{device_name}")
+        env.process(self._run_loop(), name=f"run-loop:{device_name}")
 
     # -- NoC-facing ----------------------------------------------------------
 
@@ -130,6 +141,8 @@ class AcceleratorTile:
     def _on_reg_write(self, name: str, value: int) -> None:
         if name == CMD_REG and value == CMD_START:
             self._start.post()
+        elif name == CMD_REG and value == CMD_RESET:
+            self.host_reset()
 
     def _raise_irq(self) -> None:
         self.mesh.send(Packet(
@@ -152,17 +165,92 @@ class AcceleratorTile:
                               max(1, self.regs.read(DVFS_REG))),
         )
 
+    def host_reset(self) -> None:
+        """Abort the in-flight invocation and return the socket to idle.
+
+        The hardware effect of writing ``CMD_RESET`` to ``CMD_REG``:
+        the running kernel (hung or not) is abandoned, the socket DMA
+        queues are flushed, pending start pulses are cleared, and
+        ``STATUS_REG`` returns to idle so the driver can reprogram and
+        restart the tile.
+        """
+        self.resets += 1
+        self._start._value = 0   # clear start pulses posted while wedged
+        if self._abort is not None and not self._abort.triggered:
+            # Busy: pull the reset line; the run loop does the cleanup.
+            self._abort.succeed()
+        else:
+            # Idle (or between invocations): clean up directly.
+            self.dma.reset()
+            self.regs._values[CMD_REG] = 0
+            self.regs._values["STATUS_REG"] = STATUS_IDLE
+
+    def _invocation_body(self, config: InvocationConfig, fault):
+        """One wrapper run, possibly perturbed by an injected fault."""
+        if fault is not None:
+            if fault[0] == "hang":
+                forever = self.env.event()
+                forever.wait_reason = (f"injected kernel hang in "
+                                       f"{self.device_name!r}")
+                yield forever
+            if fault[0] == "crash":
+                yield self.env.timeout(1)
+                raise KernelCrash(self.device_name)
+            if fault[0] == "slow":
+                # A latency spike: the kernel limps along as if the
+                # tile clock were divided down by the spike factor.
+                divider = min(MAX_DVFS_DIVIDER, max(
+                    config.clock_divider + 1,
+                    int(config.clock_divider * fault[1])))
+                config = replace(config, clock_divider=divider)
+        wrapper = wrapper_process_double_buffered \
+            if self.spec.double_buffered else wrapper_process
+        result = yield self.env.process(
+            wrapper(self.env, self.spec, self.dma, config),
+            name=f"wrapper:{self.device_name}")
+        return result
+
     def _run_loop(self):
-        """Idle -> start command -> wrapper run -> IRQ, forever."""
+        """Idle -> start command -> wrapper run -> IRQ, forever.
+
+        Each invocation runs as a child process raced against the
+        socket's reset line, so a host CMD_RESET can abandon a hung or
+        misbehaving kernel; a kernel crash is caught here and surfaces
+        as a completion IRQ with ``STATUS_ERROR``.
+        """
+        env = self.env
         while True:
             yield self._start.wait()
             self.regs._values[CMD_REG] = 0
             self.regs._values["STATUS_REG"] = STATUS_RUNNING
             config = self._snapshot_config()
-            wrapper = wrapper_process_double_buffered \
-                if self.spec.double_buffered else wrapper_process
-            result = yield self.env.process(wrapper(
-                self.env, self.spec, self.dma, config))
+            fault = None
+            if self.fault_injector is not None:
+                fault = self.fault_injector.acc_fault(self.device_name,
+                                                      env.now)
+            work = env.process(self._invocation_body(config, fault),
+                               name=f"invocation:{self.device_name}")
+            self._abort = env.event()
+            abort = self._abort
+            try:
+                yield env.any_of([work, abort])
+            except KernelCrash:
+                self._abort = None
+                self.kernel_crashes += 1
+                self.regs._values["STATUS_REG"] = STATUS_ERROR
+                self._raise_irq()
+                continue
+            self._abort = None
+            if not work.triggered:
+                # Reset won the race: abandon the invocation. The
+                # zombie work process is defused so a late failure
+                # cannot crash the simulation.
+                work.__sim_defused__ = True
+                self.dma.reset()
+                self.regs._values[CMD_REG] = 0
+                self.regs._values["STATUS_REG"] = STATUS_IDLE
+                continue
+            result = work.value
             self.invocations.append(result)
             self.frames_processed += result.frames
             self.busy_cycles += result.cycles

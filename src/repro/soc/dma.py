@@ -93,8 +93,12 @@ class DmaEngine:
         self.words_loaded = 0
         self.words_stored = 0
 
-        env.process(self._response_dispatcher())
-        env.process(self._p2p_server())
+        # Fault hook (None = fault-free, zero overhead).
+        self.fault_injector = None
+
+        env.process(self._response_dispatcher(),
+                    name=f"dma-rsp-dispatch{coord}")
+        env.process(self._p2p_server(), name=f"p2p-server{coord}")
 
     # -- plumbing ----------------------------------------------------------
 
@@ -119,10 +123,45 @@ class DmaEngine:
         return words_to_flits(words, self.word_bits,
                               self.mesh.flit_bits(plane))
 
+    def _maybe_stall(self):
+        """Injected engine stall before a transaction (generator).
+
+        A finite stall delays the transaction; an infinite one wedges
+        the engine on an event that never triggers — exactly how a dead
+        DMA controller looks to software, recovered by the runtime
+        watchdog.
+        """
+        stall = self.fault_injector.dma_stall(self.coord, self.env.now)
+        if stall is None:
+            return
+        if stall < 0:   # FaultInjector.HANG
+            forever = self.env.event()
+            forever.wait_reason = (f"injected dma hang at tile "
+                                   f"{self.coord}")
+            yield forever
+        else:
+            yield self.env.timeout(stall)
+
+    def reset(self) -> int:
+        """Hardware reset of the engine's queues (socket CMD_RESET).
+
+        Discards parked p2p chunks, abandoned putters and stale
+        response queues so a recovered tile starts its next invocation
+        from a clean slate. Returns the number of discarded items.
+        """
+        dropped = self._p2p_store_queue.flush()
+        for queue in self._responses.values():
+            dropped += queue.flush()
+        self._responses.clear()
+        self._p2p_round_robin = 0
+        return dropped
+
     # -- regular DMA ---------------------------------------------------------
 
     def _dma_load(self, offset: int, n_words: int,
                   coherent: bool = False):
+        if self.fault_injector is not None:
+            yield from self._maybe_stall()
         yield self.env.timeout(self.tlb.translate(offset, n_words))
         pending = []
         cursor = offset
@@ -156,6 +195,8 @@ class DmaEngine:
                    coherent: bool = False):
         data = np.asarray(data, dtype=np.float64).reshape(-1)
         n_words = len(data)
+        if self.fault_injector is not None:
+            yield from self._maybe_stall()
         yield self.env.timeout(self.tlb.translate(offset, n_words))
         sends = []
         cursor = offset
@@ -195,10 +236,17 @@ class DmaEngine:
         tag = self._new_tag()
         request = P2PLoadRequest(words=n_words, word_bits=self.word_bits,
                                  reply_to=self.coord, tag=tag)
-        self.mesh.send(Packet(
-            src=self.coord, dst=source, plane=DMA_REQUEST_PLANE,
-            kind=MessageKind.P2P_REQ, payload_flits=0, payload=request,
-            tag=tag))
+        lost = (self.fault_injector is not None
+                and self.fault_injector.p2p_req_lost(self.coord,
+                                                     self.env.now))
+        if not lost:
+            # A lost request never reaches the sender: the receiver
+            # blocks on a response that will not come and the runtime
+            # watchdog recovers the stream.
+            self.mesh.send(Packet(
+                src=self.coord, dst=source, plane=DMA_REQUEST_PLANE,
+                kind=MessageKind.P2P_REQ, payload_flits=0, payload=request,
+                tag=tag))
         packet = yield self._response_queue(tag).get()
         del self._responses[tag]
         self.p2p_loads += 1

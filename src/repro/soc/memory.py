@@ -79,7 +79,11 @@ class MemoryTile:
         self.words_written = 0
         self.load_transactions = 0
         self.store_transactions = 0
-        self._server_proc = env.process(self._server())
+        # Fault hook (None = fault-free, zero overhead) + upset count.
+        self.fault_injector = None
+        self.bitflips = 0
+        self._server_proc = env.process(self._server(),
+                                        name=f"mem-server{coord}")
 
     # -- direct (software) access: processor loads/stores ------------------
 
@@ -168,6 +172,15 @@ class MemoryTile:
             if not isinstance(request, DmaRequest):
                 raise TypeError(
                     f"memory tile received non-DMA payload {request!r}")
+            if self.fault_injector is not None and request.op == "load":
+                # A DRAM upset flips one bit of the loaded range in the
+                # backing storage; it persists until rewritten, so the
+                # runtime's retry (which regenerates the data) is what
+                # clears it.
+                if self.fault_injector.maybe_flip_dram(
+                        self.storage, request.offset, request.words,
+                        self.env.now):
+                    self.bitflips += 1
             if request.coherent and self.llc is not None:
                 yield self.env.timeout(self._coherent_service(request))
                 if request.op == "load":

@@ -9,10 +9,10 @@ the NoC IO plane and to wait for completion interrupts.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..noc import IO_PLANE, Mesh2D, MessageKind, Packet
-from ..sim import Environment, Fifo
+from ..sim import Environment, Event, Fifo
 from .accelerator import RegRead, RegReadReply, RegWrite
 
 Coord = Tuple[int, int]
@@ -33,7 +33,8 @@ class ProcessorTile:
         self.irqs_received = 0
         self.reg_writes = 0
         self.reg_reads = 0
-        env.process(self._irq_dispatcher())
+        self.reg_read_timeouts = 0
+        env.process(self._irq_dispatcher(), name=f"irq-dispatch:{name}")
 
     def _irq_queue(self, device_name: str) -> Fifo:
         queue = self._irq_queues.get(device_name)
@@ -92,9 +93,60 @@ class ProcessorTile:
         del self._read_replies[tag]
         return reply.value
 
+    def read_reg_bounded(self, tile_coord: Coord, name: str,
+                         max_cycles: int):
+        """MMIO load with a watchdog: ``None`` when no reply arrives.
+
+        The robust variant of :meth:`read_reg` — a lost reply packet
+        (or a dead tile) surfaces as a ``None`` return after
+        ``max_cycles`` instead of blocking the calling thread forever.
+        """
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        self.reg_reads += 1
+        tag = f"rd{next(self._read_tags)}"
+        queue = Fifo(self.env, name=f"rdrply:{tag}")
+        self._read_replies[tag] = queue
+        self.mesh.send(Packet(
+            src=self.coord, dst=tile_coord, plane=IO_PLANE,
+            kind=MessageKind.REG_ACCESS, payload_flits=1,
+            payload=RegRead(name, reply_to=self.coord, tag=tag),
+            tag=tag))
+        reply_event = queue.get()
+        watchdog = self.env.timeout(max_cycles)
+        yield self.env.any_of([reply_event, watchdog])
+        if not reply_event.triggered:
+            # Give up: withdraw the getter so a late reply parks in the
+            # (now orphaned) queue instead of resuming a dead waiter.
+            queue.cancel(reply_event)
+            del self._read_replies[tag]
+            self.reg_read_timeouts += 1
+            return None
+        del self._read_replies[tag]
+        return reply_event.value.value
+
     def wait_irq(self, device_name: str):
         """Block until the named device raises its interrupt."""
         yield self._irq_queue(device_name).get()
+
+    # -- watchdog-friendly IRQ interface ---------------------------------
+
+    def irq_event(self, device_name: str) -> Event:
+        """A get event on the device's IRQ queue (for any_of races).
+
+        The executor's watchdog yields ``any_of([irq_event, timeout])``
+        instead of blocking unconditionally in :meth:`wait_irq`; on
+        timeout it must withdraw the event with :meth:`cancel_irq`.
+        """
+        return self._irq_queue(device_name).get()
+
+    def cancel_irq(self, device_name: str, event: Event) -> bool:
+        """Withdraw a pending :meth:`irq_event` (watchdog expired)."""
+        return self._irq_queue(device_name).cancel(event)
+
+    def try_irq(self, device_name: str) -> Optional[Packet]:
+        """Non-blocking IRQ poll; drains one stale interrupt if any."""
+        return self._irq_queue(device_name).try_get()
 
 
 class AuxTile:

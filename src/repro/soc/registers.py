@@ -32,6 +32,11 @@ LOCATION_REG = "LOCATION_REG"
 P2P_REG = "P2P_REG"
 
 CMD_START = 1
+#: Abort the in-flight invocation and return the socket to idle. The
+#: robustness extension the runtime's watchdog relies on: a hung or
+#: crashed kernel is abandoned, the socket DMA queues are flushed, and
+#: the tile accepts a fresh CMD_START.
+CMD_RESET = 2
 
 #: COHERENCE_REG values: ESP accelerators select their coherence model
 #: at run time (Giri et al. [12], [14]).
@@ -41,6 +46,9 @@ COHERENCE_LLC = 1
 STATUS_IDLE = 0
 STATUS_RUNNING = 1
 STATUS_DONE = 2
+#: The invocation died (kernel crash): completion IRQ fires with this
+#: status so the driver can distinguish failure from success.
+STATUS_ERROR = 3
 
 MAX_P2P_SOURCES = 4
 

@@ -40,10 +40,40 @@ class TestDriver:
         with pytest.raises(KeyError):
             registry.by_name("zz")
 
-    def test_double_probe_rejected(self):
+    def test_reprobe_is_idempotent(self):
         soc, registry = probed_soc()
-        with pytest.raises(ValueError):
-            registry.probe(soc)
+        registry.probe(soc)   # driver reload / rescan: no error
+        assert len(registry) == 2
+        assert registry.names() == sorted(registry.names())
+
+    def test_reprobe_clears_failed_mark(self):
+        soc, registry = probed_soc()
+        registry.mark_failed("a_acc")
+        assert registry.is_failed("a_acc")
+        registry.probe(soc)
+        assert not registry.is_failed("a_acc")
+
+    def test_conflicting_probe_rejected(self):
+        soc, registry = probed_soc()
+        other = make_soc([("b_acc", make_spec(name="b")),
+                          ("a_acc", make_spec(name="a"))])
+        with pytest.raises(ValueError, match="different"):
+            registry.probe(other)
+
+    def test_mark_failed_unknown_device(self):
+        _, registry = probed_soc()
+        with pytest.raises(KeyError):
+            registry.mark_failed("zz")
+
+    def test_remove_device(self):
+        soc, registry = probed_soc()
+        registry.remove("a_acc")
+        assert "a_acc" not in registry
+        assert registry.names() == ["b_acc"]
+        with pytest.raises(KeyError):
+            registry.remove("a_acc")
+        registry.probe(soc)   # rescan rediscovers the removed device
+        assert "a_acc" in registry
 
 
 class TestAllocator:

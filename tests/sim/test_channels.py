@@ -272,3 +272,90 @@ class TestBarrier:
         env.process(proc(env, [3, 4]))
         run(env)
         assert times == [3, 3, 7, 7]
+
+
+class TestIntrospection:
+    """waiters()/cancel()/flush(): the probes the deadlock detector and
+    the recovery watchdogs are built on."""
+
+    def test_fifo_waiters_reports_blocked_endpoints(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=1, name="narrow")
+
+        def putter(env):
+            yield fifo.put("a")
+            yield fifo.put("b")   # blocks: queue is full
+
+        env.process(putter(env))
+        run(env)
+        waiters = fifo.waiters()
+        assert len(waiters["putters"]) == 1
+        assert waiters["getters"] == ()
+        assert "narrow" in waiters["putters"][0].wait_reason
+
+        drained = Fifo(env, name="drained")
+
+        def getter(env):
+            yield drained.get()   # blocks: queue is empty
+
+        env.process(getter(env))
+        run(env)
+        waiters = drained.waiters()
+        assert waiters["putters"] == ()
+        assert len(waiters["getters"]) == 1
+        assert "drained" in waiters["getters"][0].wait_reason
+
+    def test_fifo_cancel_withdraws_a_pending_get(self):
+        env = Environment()
+        fifo = Fifo(env)
+        event = fifo.get()
+        assert fifo.cancel(event) is True
+        assert fifo.waiters()["getters"] == ()
+        # A second cancel (or cancelling a serviced event) is a no-op.
+        assert fifo.cancel(event) is False
+        fifo.put("x")
+        satisfied = fifo.get()
+        assert fifo.cancel(satisfied) is False
+
+    def test_fifo_flush_drops_items_and_putters_keeps_getters(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=2)
+
+        def putter(env):
+            for item in range(4):
+                yield fifo.put(item)
+
+        env.process(putter(env))
+        run(env)
+        assert len(fifo.items) == 2
+        assert len(fifo.waiters()["putters"]) == 1   # item 2 pending
+
+        assert fifo.flush() == 3   # 2 queued items + 1 blocked putter
+        assert fifo.is_empty
+        assert fifo.waiters()["putters"] == ()
+
+        pending_get = fifo.get()
+        assert fifo.flush() == 0
+        assert fifo.waiters()["getters"] == (pending_get,)
+
+    def test_flush_can_preserve_putters(self):
+        env = Environment()
+        fifo = Fifo(env, capacity=1)
+        fifo.try_put("stale")
+        blocked = fifo.put("fresh")
+        assert fifo.flush(drop_putters=False) == 1
+        # The surviving putter is drained into the freed capacity.
+        fifo._drain_putters()
+        assert blocked.triggered
+        assert fifo.try_get() == "fresh"
+
+    def test_resource_waiters_and_cancel(self):
+        env = Environment()
+        gate = Resource(env, slots=1, name="gate")
+        gate.acquire()             # granted immediately
+        queued = gate.acquire()    # waits
+        assert gate.waiters() == (queued,)
+        assert "gate" in queued.wait_reason
+        assert gate.cancel(queued) is True
+        assert gate.waiters() == ()
+        assert gate.cancel(queued) is False

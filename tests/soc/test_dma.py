@@ -258,3 +258,89 @@ class TestP2P:
         flits = mesh.plane_flits()
         active = {plane for plane, count in flits.items() if count > 0}
         assert active <= {DMA_REQUEST_PLANE, DMA_RESPONSE_PLANE}
+
+
+class TestStalledConsumer:
+    """The paper's p2p 'consumption assumption' under a dead consumer:
+    backpressure must stay local to the wedged stream."""
+
+    def test_stalled_consumer_does_not_wedge_unrelated_dma(self, rng):
+        """A producer blocked on its full p2p store queue must not
+        hold NoC or memory resources that unrelated DMA needs."""
+        env, mesh, mm, memory = make_fabric(cols=4)
+        producer = DmaEngine(env, mesh, (0, 0), mm)
+        bystander = DmaEngine(env, mesh, (1, 0), mm)
+        data = rng.uniform(-1, 1, 64)
+        memory.write_words(512, data)
+        wedged = []
+        observed = {}
+
+        def wedge():
+            for index in range(P2P_QUEUE_DEPTH + 2):
+                yield from producer.store(
+                    0, np.zeros(8), p2p=P2PConfig(store_enabled=True))
+                wedged.append(index)
+
+        def unrelated():
+            yield env.timeout(100)   # let the producer wedge first
+            observed["data"] = yield from bystander.load(512, 64)
+            observed["at"] = env.now
+
+        env.process(wedge())
+        done = env.process(unrelated())
+        env.run(until=done)
+        env.run(until=env.now + 10_000)
+        assert wedged == list(range(P2P_QUEUE_DEPTH))   # still wedged
+        np.testing.assert_array_equal(observed["data"], data)
+
+    def test_wedged_store_queue_is_introspectable(self):
+        """The blocked producer shows up on the store queue's waiters()
+        — the hook the deadlock detector and the watchdog report use."""
+        env, mesh, mm, _ = make_fabric()
+        producer = DmaEngine(env, mesh, (0, 0), mm)
+
+        def wedge():
+            for _ in range(P2P_QUEUE_DEPTH + 1):
+                yield from producer.store(
+                    0, np.zeros(8), p2p=P2PConfig(store_enabled=True))
+
+        env.process(wedge(), name="wedged-producer")
+        env.run(until=5_000)
+        waiters = producer._p2p_store_queue.waiters()
+        assert len(waiters["putters"]) == 1
+        reason = getattr(waiters["putters"][0], "wait_reason", "")
+        assert "p2p-store" in reason
+
+    def test_consumer_timeout_leaves_queue_recoverable(self):
+        """After a reset flushes the wedged queue, the engine serves
+        fresh p2p traffic normally."""
+        env, mesh, mm, _ = make_fabric()
+        producer = DmaEngine(env, mesh, (0, 0), mm)
+        receiver = DmaEngine(env, mesh, (1, 0), mm)
+
+        def wedge():
+            for _ in range(P2P_QUEUE_DEPTH + 1):
+                yield from producer.store(
+                    0, np.zeros(8), p2p=P2PConfig(store_enabled=True))
+
+        env.process(wedge())
+        env.run(until=5_000)
+        producer.reset()
+        env.run(until=env.now + 100)
+
+        sent = np.arange(16, dtype=float)
+        got = {}
+
+        def send_side():
+            yield from producer.store(0, sent,
+                                      p2p=P2PConfig(store_enabled=True))
+
+        def recv_side():
+            got["data"] = yield from receiver.load(
+                0, 16, p2p=P2PConfig(load_enabled=True,
+                                     sources=((0, 0),)))
+
+        env.process(send_side())
+        done = env.process(recv_side())
+        env.run(until=done)
+        np.testing.assert_array_equal(got["data"], sent)
