@@ -1,0 +1,203 @@
+"""Serving benchmark: concurrent multi-tenant inference on SoC-1.
+
+Three applications share one SoC — the Night-Vision pipeline
+(nv0 -> cl0), a standalone classifier (cl1) and the denoiser (de0) —
+the explicit version of the paper's Sec. V claim that multiple
+applications invoke different accelerator pipelines concurrently on
+the same chip. The benchmark reports per-tenant p50/p99 latency plus
+aggregate throughput, and checks the serving layer's contract:
+
+- single-request serving is bit-exact with the seed executor path;
+- no request is rejected at the benchmark's offered load;
+- batched, concurrent serving beats running the same requests
+  sequentially through ``Executor.execute`` (strictly), and beats
+  single-request serving (monotone non-decreasing).
+
+Run:  pytest benchmarks/bench_serve.py --benchmark-only -s
+or:   PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.eval import build_soc1
+from repro.eval.apps import (
+    classifier_inputs,
+    dataflow_nv_cl,
+    de_cl_inputs,
+    nv_cl_inputs,
+)
+from repro.runtime import Dataflow, EspRuntime, chain
+from repro.serve import (
+    InferenceServer,
+    ServerConfig,
+    TenantConfig,
+    TracedRequest,
+)
+
+#: Requests per tenant / frames per request of the full benchmark.
+BENCH_REQUESTS = 3
+BENCH_FRAMES = 2
+#: The smoke variant (CI) trims the trace to keep the job short.
+SMOKE_REQUESTS = 2
+SMOKE_FRAMES = 1
+
+
+def tenant_dataflows():
+    """The three concurrent applications and their pipelines."""
+    return {
+        "night-vision": dataflow_nv_cl(1, 1),      # nv0 -> cl0
+        "classifier": chain("1cl-serve", ["cl1"]),
+        "denoiser": chain("1de-serve", ["de0"]),
+    }
+
+
+def tenant_modes():
+    return {"night-vision": "p2p", "classifier": "pipe",
+            "denoiser": "pipe"}
+
+
+def tenant_inputs(n_frames, seed=0):
+    nv, _ = nv_cl_inputs(n_frames, seed=seed)
+    cl, _ = classifier_inputs(n_frames, seed=seed + 1)
+    de, _ = de_cl_inputs(n_frames, seed=seed + 2)
+    return {"night-vision": nv, "classifier": cl, "denoiser": de}
+
+
+def build_server():
+    runtime = EspRuntime(build_soc1())
+    server = InferenceServer(runtime, ServerConfig())
+    modes = tenant_modes()
+    for name, dataflow in tenant_dataflows().items():
+        server.register(TenantConfig(name=name, dataflow=dataflow,
+                                     mode=modes[name]))
+    return runtime, server
+
+
+def build_trace(n_requests, frames_per_request):
+    """All tenants submit ``n_requests`` back-to-back at cycle 0."""
+    inputs = tenant_inputs(n_requests * frames_per_request)
+    trace = []
+    for tenant, frames in inputs.items():
+        for index in range(n_requests):
+            lo = index * frames_per_request
+            trace.append(TracedRequest(
+                0, tenant, frames[lo:lo + frames_per_request]))
+    return trace
+
+
+def sequential_fps(trace):
+    """The same requests, one at a time through ``Executor.execute``."""
+    runtime = EspRuntime(build_soc1())
+    dataflows = tenant_dataflows()
+    modes = tenant_modes()
+    env = runtime.soc.env
+    start = env.now
+    total_frames = 0
+    for entry in trace:
+        runtime.esp_run(dataflows[entry.tenant], entry.frames,
+                        mode=modes[entry.tenant])
+        total_frames += np.atleast_2d(entry.frames).shape[0]
+    elapsed = env.now - start
+    return total_frames / (elapsed / (runtime.soc.clock_mhz * 1e6))
+
+
+def run_serve_benchmark(n_requests=BENCH_REQUESTS,
+                        frames_per_request=BENCH_FRAMES):
+    """The three serving measurements plus the bit-exactness probe."""
+    # Single-request serving: one request per tenant.
+    _, single_server = build_server()
+    single_report = single_server.run_trace(
+        build_trace(1, frames_per_request))
+
+    # Batched serving: the full trace, coalesced per tenant.
+    _, server = build_server()
+    report = server.run_trace(build_trace(n_requests,
+                                          frames_per_request))
+
+    # Bit-exactness: the served single requests against esp_run.
+    reference = EspRuntime(build_soc1())
+    modes = tenant_modes()
+    exact = {}
+    for tenant, dataflow in tenant_dataflows().items():
+        completion = next(c for c in single_report.completions
+                          if c.tenant == tenant)
+        frames = tenant_inputs(frames_per_request)[tenant]
+        golden = reference.esp_run(dataflow, frames,
+                                   mode=modes[tenant])
+        exact[tenant] = bool(
+            (completion.outputs == golden.outputs).all())
+
+    return {
+        "sequential_fps": sequential_fps(
+            build_trace(n_requests, frames_per_request)),
+        "single_report": single_report,
+        "report": report,
+        "bit_exact": exact,
+    }
+
+
+def check(results):
+    report = results["report"]
+    single = results["single_report"]
+    assert all(results["bit_exact"].values()), results["bit_exact"]
+    assert report.rejections == [] and report.failures == []
+    assert single.rejections == [] and single.failures == []
+    # Strict win over the sequential executor path (concurrency +
+    # batching), and no regression against single-request serving.
+    assert report.throughput_fps > results["sequential_fps"]
+    assert report.throughput_fps >= single.throughput_fps
+
+
+def render(results):
+    report = results["report"]
+    lines = [report.render(), ""]
+    us = 1.0 / report.clock_mhz
+    lines.append(f"{'tenant':<14}{'p50 us':>10}{'p99 us':>10}")
+    for tenant, summary in sorted(report.latency_by_tenant.items()):
+        scaled = summary.scaled(us)
+        lines.append(f"{tenant:<14}{scaled.p50:>10.1f}"
+                     f"{scaled.p99:>10.1f}")
+    lines.append("")
+    lines.append(
+        f"throughput: sequential executor "
+        f"{results['sequential_fps']:.1f} fps, single-request serving "
+        f"{results['single_report'].throughput_fps:.1f} fps, batched "
+        f"serving {report.throughput_fps:.1f} fps")
+    lines.append(f"bit-exact vs seed executor: {results['bit_exact']}")
+    return "\n".join(lines)
+
+
+def test_concurrent_serving(once):
+    results = once(run_serve_benchmark)
+    print("\n" + render(results))
+    check(results)
+    report = results["report"]
+    # Coalescing actually happened: fewer batches than requests.
+    total_batches = sum(report.batches_by_tenant.values())
+    assert total_batches < len(report.completions)
+    # Every tenant's hardware activity is attributed exclusively.
+    nv = report.activity_by_tenant["night-vision"]
+    assert set(nv) == {"nv0", "cl0"}
+    assert set(report.activity_by_tenant["denoiser"]) == {"de0"}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small trace + assertions only (CI)")
+    args = parser.parse_args()
+    if args.smoke:
+        results = run_serve_benchmark(
+            n_requests=SMOKE_REQUESTS,
+            frames_per_request=SMOKE_FRAMES)
+    else:
+        results = run_serve_benchmark()
+    print(render(results))
+    check(results)
+    print("serving benchmark: all assertions passed")
+
+
+if __name__ == "__main__":
+    main()

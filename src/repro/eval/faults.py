@@ -30,6 +30,7 @@ from ..faults import (
 )
 from ..runtime import Dataflow, EspRuntime, chain
 from .apps import build_soc1, de_cl_inputs
+from .harness import LatencySummary, summarize_latencies
 
 #: The three-stage Fig. 7 pipeline the campaign exercises.
 CHAIN3_DEVICES = ("de0", "nv0", "cl0")
@@ -144,14 +145,17 @@ class CampaignReport:
     def faults_fired(self) -> int:
         return sum(r.faults_fired for r in self.records)
 
-    def overhead_by_kind(self) -> Dict[str, float]:
-        """Mean cycle overhead (%) per fault kind, over firing runs."""
-        sums: Dict[str, List[float]] = {}
+    def overhead_by_kind(self) -> Dict[str, LatencySummary]:
+        """Cycle-overhead (%) distribution per fault kind, over firing
+        runs — the shared :class:`LatencySummary` aggregate, so the
+        campaign reports tails, not just means."""
+        samples: Dict[str, List[float]] = {}
         for record in self.records:
             if record.faults_fired:
-                sums.setdefault(record.kind, []).append(
+                samples.setdefault(record.kind, []).append(
                     record.overhead_pct)
-        return {kind: sum(v) / len(v) for kind, v in sorted(sums.items())}
+        return {kind: summarize_latencies(v)
+                for kind, v in sorted(samples.items())}
 
     def render(self) -> str:
         header = (f"{'fault':<14} {'rate':>8} {'mode':>5} {'fired':>5} "

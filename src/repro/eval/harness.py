@@ -17,6 +17,67 @@ from .apps import APP_CONFIGS, AppConfig, fresh_runtime
 DEFAULT_FRAMES = 32
 
 
+def percentile(values, q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation.
+
+    Thin wrapper over :func:`numpy.percentile` with input validation —
+    kept as a named helper so every experiment aggregates latency the
+    same way.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a latency (or overhead) sample.
+
+    The shared aggregate shape of the serving benchmarks and the fault
+    campaigns: tail percentiles rather than just a mean, because a
+    multi-tenant system is judged by its p99.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """The same summary in different units (e.g. cycles -> us)."""
+        return LatencySummary(count=self.count,
+                              mean=self.mean * factor,
+                              p50=self.p50 * factor,
+                              p95=self.p95 * factor,
+                              p99=self.p99 * factor,
+                              max=self.max * factor)
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f} p50={self.p50:.1f} "
+                f"p95={self.p95:.1f} p99={self.p99:.1f} "
+                f"max={self.max:.1f}")
+
+
+def summarize_latencies(values) -> LatencySummary:
+    """p50/p95/p99, mean and max of a non-empty sample."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("summarize_latencies of an empty sample")
+    return LatencySummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        p50=percentile(values, 50.0),
+        p95=percentile(values, 95.0),
+        p99=percentile(values, 99.0),
+        max=float(values.max()),
+    )
+
+
 @dataclass
 class Measurement:
     """One (configuration, mode) measurement on the simulated SoC."""

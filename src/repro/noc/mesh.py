@@ -163,12 +163,16 @@ class Mesh2D:
             action = self.fault_injector.on_deliver(packet, self.env.now)
             if action == "drop":
                 self.packets_dropped += 1
+                if packet.on_lost is not None:
+                    packet.on_lost()
                 return packet
             if action == "corrupt":
                 # Link-level CRC catches the mangled payload at
                 # ejection and discards it — corruption is detected,
                 # never silently delivered.
                 self.packets_corrupted += 1
+                if packet.on_lost is not None:
+                    packet.on_lost()
                 return packet
         packet.delivered_at = self.env.now
         self.packets_delivered += 1

@@ -49,6 +49,10 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     injected_at: Optional[int] = None
     delivered_at: Optional[int] = None
+    #: Optional callback the mesh fires if the packet is lost (dropped
+    #: or discarded at ejection with a bad CRC) — lets posted-store
+    #: accounting reconcile stores that will never arrive.
+    on_lost: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.payload_flits < 0:

@@ -2,7 +2,7 @@
 
 from ..faults import AcceleratorTimeout, NodeFailed, RecoveryPolicy
 from .driver import DeviceRegistry, EspDevice
-from .alloc import Buffer, ContigAllocator
+from .alloc import Buffer, BufferPool, ContigAllocator
 from .dataflow import (
     COMM_KINDS,
     Dataflow,
@@ -24,6 +24,7 @@ from .codegen import emit_dataflow_header, emit_user_app
 __all__ = [
     "AcceleratorTimeout",
     "Buffer",
+    "BufferPool",
     "COMM_KINDS",
     "ContigAllocator",
     "Dataflow",

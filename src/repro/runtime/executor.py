@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..faults import AcceleratorTimeout, NodeFailed, RecoveryPolicy
-from ..sim import Counter, Process
+from ..sim import Counter, Event, Interrupt, Process
 from ..soc import (
     CMD_REG,
     CMD_RESET,
@@ -110,7 +110,14 @@ class NodePlan:
 
 @dataclass
 class ExecutionPlan:
-    """Buffers and per-node assignments for one esp_run call."""
+    """Buffers and per-node assignments for one esp_run call.
+
+    Plans are self-contained so several can be in flight concurrently
+    on one SoC (the serving layer interleaves plans over disjoint tile
+    sets): pipeline threads and runtime-overhead counters live on the
+    plan, not on the executor, and the buffers the plan allocated can
+    be released as a unit when it completes.
+    """
 
     dataflow: Dataflow
     mode: str
@@ -121,6 +128,22 @@ class ExecutionPlan:
     inter_buffers: List[Optional[Buffer]]   # one per level boundary
     coherent: bool = False                  # LLC-coherent DMA
     dvfs: Dict[str, int] = field(default_factory=dict)  # device -> divider
+    #: Pipeline threads spawned for this plan (plan-local so concurrent
+    #: plans never clobber each other's thread lists).
+    threads: List[Process] = field(default_factory=list)
+    # Per-plan runtime accounting (the executor keeps cumulative totals
+    # too; these attribute overheads to one plan under concurrency).
+    ioctl_calls: int = 0
+    retries: int = 0
+    watchdog_timeouts: int = 0
+    software_frames: int = 0
+    #: First unrecoverable error a pipeline thread hit. Threads record
+    #: it here (and trigger ``abort``) instead of crashing the global
+    #: event loop, so a failure inside one plan stays observable by
+    #: that plan's main alone — a second plan sharing the SoC keeps
+    #: running.
+    failure: Optional[BaseException] = None
+    abort: Optional[Event] = None
 
     def node(self, name: str) -> NodePlan:
         for level in self.levels:
@@ -128,6 +151,16 @@ class ExecutionPlan:
                 if node.name == name:
                     return node
         raise KeyError(name)
+
+    @property
+    def device_names(self) -> List[str]:
+        return [node.name for level in self.levels for node in level]
+
+    @property
+    def buffers(self) -> List[Buffer]:
+        """Every buffer this plan allocated (for pooled release)."""
+        return [self.input_buffer, self.output_buffer] + \
+            [b for b in self.inter_buffers if b is not None]
 
 
 @dataclass
@@ -184,7 +217,11 @@ class DataflowExecutor:
         self.watchdog_timeouts = 0
         self.software_frames = 0
         self.degraded_runs = 0
-        self._threads: List[Process] = []
+        #: Upper bound, in cycles, on the posted-store quiesce wait of
+        #: the re-entrant :meth:`run_process` path. ``None`` waits
+        #: until fully quiescent; a bound writes lost stores off so a
+        #: dropped packet cannot wedge the serving loop.
+        self.quiesce_bound: Optional[int] = None
 
     # -- planning ----------------------------------------------------------
 
@@ -254,7 +291,8 @@ class DataflowExecutor:
                              input_buffer=input_buffer,
                              output_buffer=output_buffer,
                              inter_buffers=inter_buffers,
-                             coherent=coherent, dvfs=dvfs)
+                             coherent=coherent, dvfs=dvfs,
+                             abort=self.soc.env.event())
 
     @staticmethod
     def _check_geometry(levels: List[List[NodePlan]]) -> None:
@@ -299,7 +337,8 @@ class DataflowExecutor:
             yield env.timeout(self.costs.reg_write_cycles)
             yield from cpu.write_reg(coord, reg, value)
 
-    def _invoke(self, node: NodePlan, src_offset: int, dst_offset: int,
+    def _invoke(self, plan: ExecutionPlan, node: NodePlan,
+                src_offset: int, dst_offset: int,
                 n_frames: int, p2p: P2PConfig, src_stride: int = 0,
                 dst_stride: int = 0, coherent: bool = False,
                 divider: int = 1):
@@ -308,6 +347,7 @@ class DataflowExecutor:
         cpu = self.soc.cpu
         coord = node.device.coord
         self.ioctl_calls += 1
+        plan.ioctl_calls += 1
         yield env.timeout(self.costs.ioctl_cycles)
         yield from self._program_and_start(
             node, src_offset, dst_offset, n_frames, p2p, src_stride,
@@ -348,7 +388,8 @@ class DataflowExecutor:
         cpu.cancel_irq(node.name, irq)
         return False
 
-    def _invoke_guarded(self, node: NodePlan, src_offset: int,
+    def _invoke_guarded(self, plan: ExecutionPlan, node: NodePlan,
+                        src_offset: int,
                         dst_offset: int, n_frames: int, p2p: P2PConfig,
                         src_stride: int, dst_stride: int, coherent: bool,
                         divider: int, max_attempts: int):
@@ -369,10 +410,12 @@ class DataflowExecutor:
         coord = node.device.coord
         policy = self.recovery
         self.ioctl_calls += 1
+        plan.ioctl_calls += 1
         yield env.timeout(self.costs.ioctl_cycles)
         for attempt in range(max_attempts):
             if attempt:
                 self.retries += 1
+                plan.retries += 1
             # Drain interrupts a previous (abandoned) attempt left over.
             while cpu.try_irq(node.name) is not None:
                 pass
@@ -388,13 +431,15 @@ class DataflowExecutor:
                     return True
             else:
                 self.watchdog_timeouts += 1
+                plan.watchdog_timeouts += 1
             # Recover the socket: abort whatever is (not) running.
             yield env.timeout(self.costs.reg_write_cycles)
             yield from cpu.write_reg(coord, CMD_REG, CMD_RESET)
             yield env.timeout(policy.reset_cycles)
         return False
 
-    def _software_node(self, node: NodePlan, src_offset: int,
+    def _software_node(self, plan: ExecutionPlan, node: NodePlan,
+                       src_offset: int,
                        dst_offset: int, n_frames: int,
                        src_stride: int = 0, dst_stride: int = 0):
         """Graceful degradation: run the node's kernel on the CPU.
@@ -419,6 +464,7 @@ class DataflowExecutor:
             memory.write_words(dst_offset + index * dst_step,
                                spec.run(frame))
             self.software_frames += 1
+            plan.software_frames += 1
 
     def _run_node(self, plan: ExecutionPlan, node: NodePlan,
                   src_offset: int, dst_offset: int, n_frames: int,
@@ -438,7 +484,7 @@ class DataflowExecutor:
         divider = plan.dvfs.get(node.name, 1)
         if self.recovery is None:
             yield from self._invoke(
-                node, src_offset, dst_offset, n_frames, p2p,
+                plan, node, src_offset, dst_offset, n_frames, p2p,
                 src_stride=src_stride, dst_stride=dst_stride,
                 coherent=plan.coherent, divider=divider)
             return
@@ -449,15 +495,15 @@ class DataflowExecutor:
                 raise NodeFailed(node.name,
                                  "device marked failed; a p2p stream "
                                  "cannot be serviced in software")
-            yield from self._software_node(node, src_offset, dst_offset,
-                                           n_frames, src_stride,
-                                           dst_stride)
+            yield from self._software_node(plan, node, src_offset,
+                                           dst_offset, n_frames,
+                                           src_stride, dst_stride)
             return
         # Retrying a p2p stream would desynchronize it from its peers
         # (they hold partial progress), so streams get one attempt.
         attempts = 1 if streaming else policy.max_retries + 1
         ok = yield from self._invoke_guarded(
-            node, src_offset, dst_offset, n_frames, p2p, src_stride,
+            plan, node, src_offset, dst_offset, n_frames, p2p, src_stride,
             dst_stride, plan.coherent, divider, attempts)
         if ok:
             return
@@ -467,8 +513,47 @@ class DataflowExecutor:
         if not policy.software_fallback:
             raise NodeFailed(node.name, "retries exhausted and software "
                                         "fallback disabled")
-        yield from self._software_node(node, src_offset, dst_offset,
+        yield from self._software_node(plan, node, src_offset, dst_offset,
                                        n_frames, src_stride, dst_stride)
+
+    def _thread_guard(self, plan: ExecutionPlan, body):
+        """Contain a pipeline thread's failure inside its plan.
+
+        An unhandled exception in a bare thread process would crash the
+        whole event loop — fatal when several plans share the SoC. The
+        guard records the first failure on the plan and triggers its
+        ``abort`` event; the plan's main observes it and re-raises, so
+        the error surfaces exactly where the plan is being driven.
+        """
+        try:
+            yield from body
+        except Interrupt:
+            raise    # plan aborted from outside; die quietly (defused)
+        except Exception as exc:
+            if plan.failure is None:
+                plan.failure = exc
+                if not plan.abort.triggered:
+                    plan.abort.succeed(exc)
+
+    def _spawn_threads(self, plan: ExecutionPlan, make_body):
+        """Stagger-spawn one guarded thread per node; then await them.
+
+        ``make_body`` maps a :class:`NodePlan` to the thread generator.
+        Stops early if a freshly spawned thread already failed (e.g. a
+        p2p stream on a device marked failed raises immediately).
+        """
+        env = self.soc.env
+        for row in plan.levels:
+            for node in row:
+                yield env.timeout(self.costs.thread_spawn_cycles)
+                if plan.failure is not None:
+                    raise plan.failure
+                plan.threads.append(env.process(
+                    self._thread_guard(plan, make_body(node)),
+                    name=f"{plan.mode}-thread:{node.name}"))
+        yield env.any_of([env.all_of(plan.threads), plan.abort])
+        if plan.failure is not None:
+            raise plan.failure
 
     # -- address helpers -------------------------------------------------------
 
@@ -526,15 +611,8 @@ class DataflowExecutor:
         env = self.soc.env
         counters = {node.name: Counter(env, name=f"done:{node.name}")
                     for row in plan.levels for node in row}
-        threads = []
-        self._threads = threads
-        for row in plan.levels:
-            for node in row:
-                yield env.timeout(self.costs.thread_spawn_cycles)
-                threads.append(env.process(
-                    self._pipe_thread(plan, node, counters),
-                    name=f"pipe-thread:{node.name}"))
-        yield env.all_of(threads)
+        yield from self._spawn_threads(
+            plan, lambda node: self._pipe_thread(plan, node, counters))
 
     # -- custom mode (per-edge communication) --------------------------------------
 
@@ -599,15 +677,8 @@ class DataflowExecutor:
         env = self.soc.env
         counters = {node.name: Counter(env, name=f"done:{node.name}")
                     for row in plan.levels for node in row}
-        threads = []
-        self._threads = threads
-        for row in plan.levels:
-            for node in row:
-                yield env.timeout(self.costs.thread_spawn_cycles)
-                threads.append(env.process(
-                    self._custom_thread(plan, node, counters),
-                    name=f"custom-thread:{node.name}"))
-        yield env.all_of(threads)
+        yield from self._spawn_threads(
+            plan, lambda node: self._custom_thread(plan, node, counters))
 
     # -- p2p mode ------------------------------------------------------------------
 
@@ -641,15 +712,8 @@ class DataflowExecutor:
                                   dst_stride=dst_stride)
 
     def _p2p_main(self, plan: ExecutionPlan):
-        env = self.soc.env
-        threads = []
-        self._threads = threads
-        for row in plan.levels:
-            for node in row:
-                yield env.timeout(self.costs.thread_spawn_cycles)
-                threads.append(env.process(self._p2p_thread(plan, node),
-                                           name=f"p2p-thread:{node.name}"))
-        yield env.all_of(threads)
+        yield from self._spawn_threads(
+            plan, lambda node: self._p2p_thread(plan, node))
 
     # -- entry point --------------------------------------------------------------------
 
@@ -682,7 +746,6 @@ class DataflowExecutor:
         start = env.now
         mains = {"base": self._base_main, "pipe": self._pipe_main,
                  "p2p": self._p2p_main, "custom": self._custom_main}
-        self._threads = []
         done = env.process(mains[mode](plan),
                            name=f"main:{mode}:{dataflow.name}")
         degraded = False
@@ -690,6 +753,7 @@ class DataflowExecutor:
             env.run(until=done)
         except NodeFailed:
             if self.recovery is None or not self.recovery.software_fallback:
+                self._cleanup_failed(plan, done)
                 raise
             if done.is_alive:
                 # The failure escaped through a pipeline thread directly
@@ -701,6 +765,13 @@ class DataflowExecutor:
                 done.interrupt("degraded re-run")
             plan = self._degrade(plan, dataflow, frames, coherent, dvfs)
             degraded = True
+        except BaseException:
+            # Any other mid-pipeline failure (AcceleratorTimeout,
+            # DeadlockError, ...): stop in-flight accelerators, drain,
+            # and release the plan's buffers so the SoC is immediately
+            # reusable for the next plan, then let the error surface.
+            self._cleanup_failed(plan, done)
+            raise
         cycles = env.now - start
         # Drain the schedule: stores are posted, so the final write may
         # still be in the memory tile's request queue when the IRQ
@@ -734,29 +805,208 @@ class DataflowExecutor:
 
         The failed streaming run cannot be patched in place (its peers
         hold partial progress), so: cancel every surviving pipeline
-        thread, hardware-reset every tile of the plan, quiesce, then
-        re-run the whole batch in ``pipe`` mode — the failed device
-        (marked in the registry) executes in software there. Returns
-        the plan of the re-run, whose output buffer holds the results.
+        thread, hardware-reset every tile of the plan, quiesce, release
+        the aborted plan's buffers, then re-run the whole batch in
+        ``pipe`` mode — the failed device (marked in the registry)
+        executes in software there. Returns the plan of the re-run,
+        whose output buffer holds the results.
         """
         env = self.soc.env
         self.degraded_runs += 1
-        for thread in self._threads:
-            if thread.is_alive:
-                thread.interrupt("degraded re-run")
-            else:
-                # A thread that already failed (e.g. a second NodeFailed
-                # racing the first) must not crash the quiesce below.
-                thread.__sim_defused__ = True  # type: ignore[attr-defined]
-        for row in plan.levels:
-            for node in row:
-                node.device.tile.host_reset()
+        self._abort_plan(plan)
         env.run()   # drain aborted threads and in-flight hardware
+        self._drain_stale_irqs(plan)
+        self.release_plan(plan)
         replan = self.plan(dataflow, len(frames), "pipe",
                            coherent=coherent, dvfs=dvfs)
         replan.input_buffer.write(frames.reshape(-1))
-        self._threads = []
         done = env.process(self._pipe_main(replan),
                            name=f"main:degraded:{dataflow.name}")
         env.run(until=done)
         return replan
+
+    # -- plan teardown ------------------------------------------------------------
+
+    def _abort_plan(self, plan: ExecutionPlan) -> None:
+        """Stop every thread and accelerator the plan still occupies.
+
+        Surviving pipeline threads are interrupted (defused, so their
+        deaths never crash the event loop); already-dead ones are
+        defused in case their failure is still queued. Every tile of
+        the plan gets a hardware reset, aborting in-flight kernels and
+        flushing socket queues.
+        """
+        for thread in plan.threads:
+            if thread.is_alive:
+                thread.interrupt("plan aborted")
+            else:
+                thread.__sim_defused__ = True  # type: ignore[attr-defined]
+        for row in plan.levels:
+            for node in row:
+                node.device.tile.host_reset()
+
+    def _drain_stale_irqs(self, plan: ExecutionPlan) -> None:
+        """Discard queued completion IRQs from the plan's devices."""
+        cpu = self.soc.cpu
+        for name in plan.device_names:
+            while cpu.try_irq(name) is not None:
+                pass
+
+    def release_plan(self, plan: ExecutionPlan) -> None:
+        """Return every buffer the plan allocated to the allocator.
+
+        Idempotent (``free`` ignores already-freed buffers), so a
+        failure path and a finally-style caller can both release.
+        """
+        for buffer in plan.buffers:
+            self.allocator.free(buffer)
+
+    def _cleanup_failed(self, plan: ExecutionPlan, done: Process) -> None:
+        """Blocking-path teardown after ``execute`` caught a failure."""
+        if done.is_alive:
+            done.interrupt("plan aborted")
+        self._abort_plan(plan)
+        self.soc.env.run()   # drain aborted processes and posted stores
+        self._drain_stale_irqs(plan)
+        self.release_plan(plan)
+
+    def _quiesce_stores(self):
+        """Wait (in-process) until posted stores have retired.
+
+        The blocking ``execute`` path drains the whole schedule before
+        reading outputs; a serving loop cannot (other plans are still
+        running), so it waits only for the memory map's posted-store
+        count to reach zero. ``quiesce_bound`` caps the wait: past the
+        bound, stores that never retired (packets lost to injected NoC
+        faults) are written off so one dropped packet cannot wedge the
+        serving loop.
+        """
+        env = self.soc.env
+        memory_map = self.soc.memory_map
+        quiet = memory_map.quiesce_event(env)
+        if self.quiesce_bound is None:
+            yield quiet
+            return
+        yield env.any_of([quiet, env.timeout(self.quiesce_bound)])
+        if not quiet.triggered:
+            memory_map.cancel_quiesce(quiet)
+            memory_map.write_off_in_flight()
+
+    def _abort_and_release(self, plan: ExecutionPlan):
+        """In-process teardown: abort, quiesce, then free the buffers.
+
+        The quiesce between the abort and the release is load-bearing:
+        the plan's posted stores must land (or be written off) before
+        its addresses can be handed to the next plan, or a stale store
+        could corrupt the successor's buffers.
+        """
+        self._abort_plan(plan)
+        yield from self._quiesce_stores()
+        self._drain_stale_irqs(plan)
+        self.release_plan(plan)
+
+    def _degrade_in_process(self, plan: ExecutionPlan, dataflow: Dataflow,
+                            frames: np.ndarray, coherent: bool,
+                            dvfs: Optional[Dict[str, int]]):
+        """In-process graceful degradation (serving-loop counterpart of
+        :meth:`_degrade`, which may not ``env.run`` inside a process).
+        """
+        env = self.soc.env
+        self.degraded_runs += 1
+        yield from self._abort_and_release(plan)
+        yield env.timeout(self.recovery.reset_cycles)
+        replan = self.plan(dataflow, len(frames), "pipe",
+                           coherent=coherent, dvfs=dvfs)
+        replan.input_buffer.write(frames.reshape(-1))
+        # Carry the aborted attempt's accounting so the RunResult
+        # reflects the whole request, not just the re-run.
+        replan.ioctl_calls = plan.ioctl_calls
+        replan.retries = plan.retries
+        replan.watchdog_timeouts = plan.watchdog_timeouts
+        replan.software_frames = plan.software_frames
+        yield from self._pipe_main(replan)
+        return replan
+
+    # -- re-entrant entry point (serving layer) -----------------------------------
+
+    def run_process(self, dataflow: Dataflow, frames: np.ndarray,
+                    mode: str, coherent: bool = False,
+                    dvfs: Optional[Dict[str, int]] = None,
+                    release_buffers: bool = True):
+        """Re-entrant ``execute``: a generator to run as a sim process.
+
+        ``execute`` drives the event loop itself (``env.run``), so only
+        one call can be outstanding — fine for the paper's single-app
+        experiments, unusable for serving. ``run_process`` is the same
+        pipeline expressed as a process: several instances can be in
+        flight concurrently over disjoint tile sets, interleaved by the
+        kernel like any other processes. Returns a :class:`RunResult`
+        built from the plan's own counters.
+
+        Differences from the blocking path, by necessity:
+
+        - output reads are gated on posted-store quiescence (bounded by
+          ``quiesce_bound``) instead of a global schedule drain;
+        - ``dram_accesses`` is a global delta over the request's
+          lifetime — best-effort attribution when plans overlap (the
+          per-tile monitors give exact per-plan numbers);
+        - buffers are released on completion (``release_buffers``) so a
+          long-lived server does not leak DRAM.
+        """
+        frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+        plan = self.plan(dataflow, len(frames), mode, coherent=coherent,
+                         dvfs=dvfs)
+        in_words = plan.levels[0][0].spec.input_words
+        if frames.shape[1] != in_words:
+            self.release_plan(plan)
+            raise ValueError(
+                f"input frames have {frames.shape[1]} words; level-0 "
+                f"devices expect {in_words}")
+        plan.input_buffer.write(frames.reshape(-1))
+
+        env = self.soc.env
+        dram_before = self.soc.memory_map.total_accesses
+        start = env.now
+        mains = {"base": self._base_main, "pipe": self._pipe_main,
+                 "p2p": self._p2p_main, "custom": self._custom_main}
+        degraded = False
+        try:
+            yield from mains[mode](plan)
+        except NodeFailed:
+            if self.recovery is None or not self.recovery.software_fallback:
+                yield from self._abort_and_release(plan)
+                raise
+            plan = yield from self._degrade_in_process(
+                plan, dataflow, frames, coherent, dvfs)
+            degraded = True
+        except BaseException:
+            # Includes Interrupt (the server cancelling this request):
+            # put the tiles and buffers back before propagating.
+            yield from self._abort_and_release(plan)
+            raise
+        cycles = env.now - start
+        # Posted stores: the final write may still be in flight when
+        # the IRQ lands; wait for it to retire before the CPU-side
+        # read below (the serving analogue of execute's global drain —
+        # the tail is excluded from the timing, as there).
+        yield from self._quiesce_stores()
+        out_words = plan.levels[-1][0].spec.output_words
+        outputs = plan.output_buffer.read().reshape(plan.n_frames,
+                                                    out_words)
+        result = RunResult(
+            dataflow=dataflow.name,
+            mode=mode,
+            frames=plan.n_frames,
+            cycles=cycles,
+            clock_mhz=self.soc.clock_mhz,
+            dram_accesses=self.soc.memory_map.total_accesses - dram_before,
+            ioctl_calls=plan.ioctl_calls,
+            outputs=outputs,
+            retries=plan.retries,
+            watchdog_timeouts=plan.watchdog_timeouts,
+            software_frames=plan.software_frames,
+            degraded=degraded,
+        )
+        if release_buffers:
+            self.release_plan(plan)
+        return result

@@ -1,0 +1,55 @@
+"""Multi-tenant inference serving over the simulated SoC.
+
+Builds the paper's concurrent-application story (Sec. V) into an
+explicit subsystem: request queueing with admission control and
+backpressure, batching that coalesces compatible requests into
+multi-frame invocations, tile arbitration with pluggable scheduling
+policies, and a trace-driven server loop reporting per-tenant tail
+latency and aggregate throughput.
+"""
+
+from .arbiter import ARBITER_POLICIES, TileArbiter, TileUnavailable
+from .batcher import Batch, Batcher, frame_quantum
+from .queue import RequestQueue
+from .request import (
+    Completion,
+    Failure,
+    InferenceRequest,
+    REJECT_BAD_SHAPE,
+    REJECT_QUEUE_FULL,
+    REJECT_REASONS,
+    REJECT_TILE_UNAVAILABLE,
+    REJECT_UNKNOWN_TENANT,
+    Rejection,
+    TracedRequest,
+)
+from .server import (
+    InferenceServer,
+    ServerConfig,
+    ServerReport,
+    TenantConfig,
+)
+
+__all__ = [
+    "ARBITER_POLICIES",
+    "Batch",
+    "Batcher",
+    "Completion",
+    "Failure",
+    "InferenceRequest",
+    "InferenceServer",
+    "REJECT_BAD_SHAPE",
+    "REJECT_QUEUE_FULL",
+    "REJECT_REASONS",
+    "REJECT_TILE_UNAVAILABLE",
+    "REJECT_UNKNOWN_TENANT",
+    "Rejection",
+    "RequestQueue",
+    "ServerConfig",
+    "ServerReport",
+    "TenantConfig",
+    "TileArbiter",
+    "TileUnavailable",
+    "TracedRequest",
+    "frame_quantum",
+]

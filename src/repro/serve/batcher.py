@@ -1,0 +1,108 @@
+"""Request coalescing: many small requests -> one multi-frame invocation.
+
+The executor's per-invocation overhead (ioctl + register programming +
+pipeline fill) is paid per ``esp_run``, not per frame — the whole point
+of the paper's ``n_frames``/stride interface. The batcher exploits it:
+compatible requests of one tenant are concatenated into a single
+multi-frame invocation, so k requests of n frames each cost one
+pipeline fill instead of k.
+
+One wrinkle: the planner requires the frame count to divide evenly
+over every level's siblings (a 4NV+1Cl pipeline wants multiples of 4).
+The batcher pads the tail with zero frames up to the pipeline's *frame
+quantum* (the lcm of the level widths) and drops the padded outputs on
+the way back out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..runtime import Dataflow
+from .request import InferenceRequest
+
+
+def frame_quantum(dataflow: Dataflow) -> int:
+    """Smallest frame count the planner accepts: lcm of level widths."""
+    quantum = 1
+    for names in dataflow.levels():
+        quantum = math.lcm(quantum, len(names))
+    return quantum
+
+
+@dataclass
+class Batch:
+    """One coalesced invocation: stacked frames plus the split map."""
+
+    requests: List[InferenceRequest]
+    frames: np.ndarray = field(repr=False)   # padded to the quantum
+    pad_frames: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def real_frames(self) -> int:
+        return sum(r.n_frames for r in self.requests)
+
+    @property
+    def total_frames(self) -> int:
+        return self.frames.shape[0]
+
+    def split_outputs(self, outputs: np.ndarray
+                      ) -> List[Tuple[InferenceRequest, np.ndarray]]:
+        """Slice the invocation's outputs back per request.
+
+        Padding rows (zero frames appended to satisfy the quantum) are
+        dropped — they were never anyone's data.
+        """
+        if outputs.shape[0] != self.total_frames:
+            raise ValueError(
+                f"outputs have {outputs.shape[0]} rows, batch ran "
+                f"{self.total_frames} frames")
+        out = []
+        offset = 0
+        for request in self.requests:
+            out.append((request,
+                        outputs[offset:offset + request.n_frames]))
+            offset += request.n_frames
+        return out
+
+
+class Batcher:
+    """Builds :class:`Batch` es for one tenant's pipeline."""
+
+    def __init__(self, dataflow: Dataflow,
+                 max_batch_frames: int = 32) -> None:
+        if max_batch_frames < 1:
+            raise ValueError("max_batch_frames must be >= 1")
+        self.dataflow = dataflow
+        self.quantum = frame_quantum(dataflow)
+        self.max_batch_frames = max(max_batch_frames, self.quantum)
+        # Statistics.
+        self.batches_formed = 0
+        self.requests_coalesced = 0
+        self.frames_padded = 0
+
+    def form(self, requests: List[InferenceRequest]) -> Batch:
+        """Coalesce ``requests`` (already size-limited by the queue's
+        ``drain``) into one padded multi-frame invocation."""
+        if not requests:
+            raise ValueError("cannot form an empty batch")
+        frames = np.concatenate([r.frames for r in requests], axis=0)
+        real = frames.shape[0]
+        padded = math.ceil(real / self.quantum) * self.quantum
+        pad = padded - real
+        if pad:
+            frames = np.concatenate(
+                [frames, np.zeros((pad, frames.shape[1]))], axis=0)
+        self.batches_formed += 1
+        self.requests_coalesced += len(requests)
+        self.frames_padded += pad
+        return Batch(requests=list(requests), frames=frames,
+                     pad_frames=pad)

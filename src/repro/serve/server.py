@@ -1,0 +1,460 @@
+"""The serving driver loop: multi-tenant inference over one SoC.
+
+This is the layer the paper's Sec. V experiments gesture at ("multiple
+applications run concurrently on the same SoC, invoking different
+accelerator pipelines") turned into an explicit subsystem: tenants
+register dataflows, requests arrive over time, and the server
+coalesces, arbitrates and dispatches them as concurrent execution
+plans over disjoint tile sets.
+
+Data path of one request::
+
+    submit() -> RequestQueue (admission control, backpressure)
+             -> per-tenant batch loop (Batcher: coalesce + pad)
+             -> TileArbiter.acquire (all-or-nothing tile grant)
+             -> DataflowExecutor.run_process (re-entrant plan)
+             -> TileArbiter.release + Completion (latency breakdown)
+
+Attribution: the arbiter guarantees a tenant owns its tiles
+exclusively between grant and release, so the hardware-counter delta
+over that window (``tile_activity``) is exactly that tenant's
+activity — per-tenant utilization without sampling.
+
+Fault integration: when a run degrades (or dies), every device the
+registry marked failed is handed back to the arbiter as *unavailable*.
+Tenants whose pipelines need a failed tile keep being served through
+the runtime's software fallback when the recovery policy allows it,
+and are rejected with ``tile-unavailable`` when it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from ..eval.harness import LatencySummary, summarize_latencies
+from ..runtime import Dataflow, DataflowExecutor, EspRuntime
+from ..sim import Counter, Environment, Interrupt, Process
+from ..soc import TileActivity, activity_delta, tile_activity
+from .arbiter import TileArbiter, TileUnavailable
+from .batcher import Batch, Batcher
+from .queue import RequestQueue
+from .request import (
+    Completion,
+    Failure,
+    InferenceRequest,
+    REJECT_TILE_UNAVAILABLE,
+    Rejection,
+    TracedRequest,
+)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One registered application: a dataflow plus serving knobs."""
+
+    name: str
+    dataflow: Dataflow
+    mode: str = "p2p"
+    priority: int = 0
+    max_batch_frames: int = 32
+    #: After the first request arrives, wait this long for more to
+    #: coalesce before dispatching (0 = dispatch immediately).
+    batch_window_cycles: int = 0
+    coherent: bool = False
+    dvfs: Optional[Dict[str, int]] = None
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Global serving knobs."""
+
+    max_queue_depth: int = 64
+    policy: str = "fifo"             # tile-arbitration policy
+    #: Bound on the posted-store quiesce of each request (see
+    #: ``DataflowExecutor.quiesce_bound``); ``None`` waits fully.
+    quiesce_bound: Optional[int] = None
+
+
+@dataclass
+class _Tenant:
+    """Server-internal per-tenant state."""
+
+    config: TenantConfig
+    batcher: Batcher
+    tiles: FrozenSet[str]
+    input_words: int
+    est_cycles_per_frame: int
+    activity: Dict[str, TileActivity] = field(default_factory=dict)
+    batches_served: int = 0
+    frames_served: int = 0
+
+
+@dataclass
+class ServerReport:
+    """Everything one serving run measured."""
+
+    clock_mhz: float
+    makespan_cycles: int
+    completions: List[Completion]
+    rejections: List[Rejection]
+    failures: List[Failure]
+    latency_by_tenant: Dict[str, LatencySummary]
+    queue_by_tenant: Dict[str, LatencySummary]
+    activity_by_tenant: Dict[str, Dict[str, TileActivity]]
+    batches_by_tenant: Dict[str, int]
+    admitted: int
+    peak_queue_depth: int
+    arbiter_grants: int
+    arbiter_wait_summary: Optional[LatencySummary]
+
+    @property
+    def completed_frames(self) -> int:
+        return sum(c.n_frames for c in self.completions)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.makespan_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate frames per second over the serving window."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.completed_frames / self.makespan_seconds
+
+    def latency_summary(self) -> Optional[LatencySummary]:
+        """Aggregate (all-tenant) request latency, in cycles."""
+        if not self.completions:
+            return None
+        return summarize_latencies(
+            [c.latency_cycles for c in self.completions])
+
+    def render(self) -> str:
+        us = 1.0 / self.clock_mhz   # cycles -> microseconds
+        lines = [
+            f"== serving report: {len(self.completions)} completed, "
+            f"{len(self.rejections)} rejected, "
+            f"{len(self.failures)} failed ==",
+            f"makespan: {self.makespan_cycles:,} cycles "
+            f"({self.makespan_seconds * 1e3:.2f} ms); aggregate "
+            f"throughput: {self.throughput_fps:.1f} frames/s",
+            f"{'tenant':<12}{'reqs':>6}{'batches':>8}{'p50 us':>10}"
+            f"{'p95 us':>10}{'p99 us':>10}{'max us':>10}",
+        ]
+        for tenant, summary in sorted(self.latency_by_tenant.items()):
+            s = summary.scaled(us)
+            lines.append(
+                f"{tenant:<12}{summary.count:>6}"
+                f"{self.batches_by_tenant.get(tenant, 0):>8}"
+                f"{s.p50:>10.1f}{s.p95:>10.1f}{s.p99:>10.1f}"
+                f"{s.max:>10.1f}")
+        for tenant, activity in sorted(self.activity_by_tenant.items()):
+            busy = sum(a.busy_cycles for a in activity.values())
+            frames = sum(a.frames for a in activity.values())
+            lines.append(f"  {tenant}: {frames} device-frames, "
+                         f"{busy:,} busy cycles across "
+                         f"{len(activity)} tiles")
+        lines.append(f"queue: {self.admitted} admitted, peak depth "
+                     f"{self.peak_queue_depth}; arbiter: "
+                     f"{self.arbiter_grants} grants"
+                     + (f", wait {self.arbiter_wait_summary}"
+                        if self.arbiter_wait_summary else ""))
+        return "\n".join(lines)
+
+
+class InferenceServer:
+    """Multi-tenant serving over one booted SoC runtime."""
+
+    def __init__(self, runtime: EspRuntime,
+                 config: Optional[ServerConfig] = None) -> None:
+        self.runtime = runtime
+        self.executor: DataflowExecutor = runtime.executor
+        self.soc = runtime.soc
+        self.env: Environment = runtime.soc.env
+        self.config = config or ServerConfig()
+        self.executor.quiesce_bound = self.config.quiesce_bound
+        self.queue = RequestQueue(self.config.max_queue_depth)
+        self.queue.on_admit = self._on_admit
+        self.arbiter = TileArbiter(self.env,
+                                   sorted(self.soc.accelerators),
+                                   policy=self.config.policy)
+        self._tenants: Dict[str, _Tenant] = {}
+        self._loops: List[Process] = []
+        self._work: Dict[str, object] = {}
+        self._terminal = Counter(self.env, name="serve:terminal")
+        self._grant_waits: List[int] = []
+        self._started = False
+        self.completions: List[Completion] = []
+        self.rejections: List[Rejection] = []
+        self.failures: List[Failure] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, config: TenantConfig) -> None:
+        """Register a tenant; validates its dataflow against the SoC."""
+        if self._started:
+            raise RuntimeError("register tenants before starting the "
+                               "server")
+        if config.name in self._tenants:
+            raise ValueError(f"tenant {config.name!r} already registered")
+        registry = self.executor.registry
+        for device in config.dataflow.devices:
+            registry.by_name(device)   # raises on unknown devices
+        levels = config.dataflow.levels()
+        first = registry.by_name(levels[0][0])
+        input_words = first.tile.spec.input_words
+        est = 0
+        for names in levels:
+            spec = registry.by_name(names[0]).tile.spec
+            est += max(1, spec.latency_cycles // len(names))
+        tenant = _Tenant(
+            config=config,
+            batcher=Batcher(config.dataflow,
+                            max_batch_frames=config.max_batch_frames),
+            tiles=frozenset(config.dataflow.devices),
+            input_words=input_words,
+            est_cycles_per_frame=est,
+        )
+        self._tenants[config.name] = tenant
+        self.queue.register(config.name, input_words)
+
+    @property
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the per-tenant batch loops (idempotent)."""
+        if self._started:
+            return
+        if not self._tenants:
+            raise RuntimeError("no tenants registered")
+        self._started = True
+        for name in sorted(self._tenants):
+            self._loops.append(self.env.process(
+                self._tenant_loop(self._tenants[name]),
+                name=f"serve:loop:{name}"))
+
+    def stop(self) -> None:
+        """Cancel the batch loops (they park between batches)."""
+        for loop in self._loops:
+            if loop.is_alive:
+                loop.interrupt("server stopped")
+        self._loops = []
+        self._started = False
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, tenant: str, frames: np.ndarray,
+               priority: int = 0) -> Optional[Rejection]:
+        """Submit one request now; ``None`` on admission.
+
+        A :class:`Rejection` (also recorded on the server) means the
+        request never entered the system — backpressure the client
+        observes immediately.
+        """
+        request = InferenceRequest(tenant=tenant, frames=frames,
+                                   priority=priority)
+        rejection = self.queue.submit(request, now=self.env.now)
+        if rejection is not None:
+            self.rejections.append(rejection)
+        return rejection
+
+    def _on_admit(self, request: InferenceRequest) -> None:
+        event = self._work.get(request.tenant)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    # -- the per-tenant batch loop ------------------------------------------------
+
+    def _can_degrade(self) -> bool:
+        policy = self.executor.recovery
+        return policy is not None and policy.software_fallback
+
+    def _tenant_loop(self, tenant: _Tenant):
+        env = self.env
+        name = tenant.config.name
+        while True:
+            while self.queue.tenant_depth(name) == 0:
+                event = env.event()
+                event.wait_reason = f"serve:{name} waiting for requests"
+                self._work[name] = event
+                yield event
+            if tenant.config.batch_window_cycles:
+                yield env.timeout(tenant.config.batch_window_cycles)
+            requests = self.queue.drain(
+                name, tenant.batcher.max_batch_frames)
+            batch = tenant.batcher.form(requests)
+            granted = yield from self._acquire_tiles(tenant, batch)
+            if not granted:
+                continue
+            yield from self._dispatch(tenant, batch)
+
+    def _acquire_tiles(self, tenant: _Tenant, batch: Batch):
+        """All-or-nothing grant of the tenant's tile set.
+
+        Returns True when granted. When a needed tile is unavailable
+        (failed), retries the claim in degraded mode if the recovery
+        policy supports software fallback, else rejects the batch.
+        """
+        env = self.env
+        priority = max([tenant.config.priority]
+                       + [r.priority for r in batch.requests])
+        est = tenant.est_cycles_per_frame * batch.total_frames
+        queued = env.now
+        claim = self.arbiter.acquire(
+            tenant.tiles, priority=priority, est_cycles=est,
+            label=tenant.config.name)
+        try:
+            yield claim
+        except TileUnavailable as exc:
+            if not self._can_degrade():
+                for request in batch.requests:
+                    self.rejections.append(Rejection(
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        reason=REJECT_TILE_UNAVAILABLE, at=env.now,
+                        detail=str(exc)))
+                    self._terminal.increment()
+                return False
+            claim = self.arbiter.acquire(
+                tenant.tiles, priority=priority, est_cycles=est,
+                allow_unavailable=True, label=tenant.config.name)
+            yield claim
+        self._grant_waits.append(env.now - queued)
+        return True
+
+    def _dispatch(self, tenant: _Tenant, batch: Batch):
+        """Run one coalesced batch; always releases the tile set."""
+        env = self.env
+        config = tenant.config
+        started = env.now
+        names = sorted(tenant.tiles)
+        before = tile_activity(self.soc, names)
+        error: Optional[BaseException] = None
+        result = None
+        try:
+            result = yield from self.executor.run_process(
+                config.dataflow, batch.frames, config.mode,
+                coherent=config.coherent, dvfs=config.dvfs)
+        except Interrupt:
+            self.arbiter.release(tenant.tiles)
+            raise
+        except Exception as exc:
+            error = exc
+        # Attribute the exclusive-ownership window's hardware activity.
+        delta = activity_delta(before, tile_activity(self.soc, names))
+        for device, activity in delta.items():
+            held = tenant.activity.get(device)
+            tenant.activity[device] = \
+                activity if held is None else held + activity
+        self.arbiter.release(tenant.tiles)
+        self._quarantine_failed(tenant)
+        if error is not None:
+            for request in batch.requests:
+                self.failures.append(Failure(
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    submitted_at=request.submitted_at,
+                    failed_at=env.now, error=error))
+                self._terminal.increment()
+            return
+        tenant.batches_served += 1
+        tenant.frames_served += batch.real_frames
+        for request, outputs in batch.split_outputs(result.outputs):
+            self.completions.append(Completion(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                submitted_at=request.submitted_at,
+                started_at=started,
+                completed_at=env.now,
+                n_frames=request.n_frames,
+                batch_frames=batch.total_frames,
+                batch_requests=batch.n_requests,
+                degraded=result.degraded,
+                outputs=np.array(outputs, copy=True)))
+            self._terminal.increment()
+
+    def _quarantine_failed(self, tenant: _Tenant) -> None:
+        registry = self.executor.registry
+        for device in tenant.tiles:
+            if registry.is_failed(device) \
+                    and device not in self.arbiter.unavailable_tiles:
+                self.arbiter.mark_unavailable(device)
+
+    # -- trace driving --------------------------------------------------------------
+
+    def run_trace(self, trace: Sequence[TracedRequest]) -> ServerReport:
+        """Drive a timestamped request trace to completion.
+
+        Submits each entry at ``start + entry.at`` cycles, waits until
+        every admitted request reached a terminal state (completed,
+        failed, or rejected post-admission), then stops the loops and
+        returns the report. Owns the event loop while running, like
+        ``DataflowExecutor.execute``.
+        """
+        env = self.env
+        self.start()
+        origin = env.now
+
+        def driver():
+            for entry in sorted(trace, key=lambda t: t.at):
+                target = origin + entry.at
+                if target > env.now:
+                    yield env.timeout(target - env.now)
+                self.submit(entry.tenant, entry.frames,
+                            priority=entry.priority)
+            return None
+
+        submitted_before = self.queue.admitted
+        terminal_before = self._terminal.value
+        done = env.process(driver(), name="serve:trace-driver")
+        env.run(until=done)
+        admitted = self.queue.admitted - submitted_before
+        env.run(until=self._terminal.wait_until(
+            terminal_before + admitted))
+        self.stop()
+        return self.report(makespan_cycles=env.now - origin)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def report(self, makespan_cycles: Optional[int] = None
+               ) -> ServerReport:
+        by_tenant: Dict[str, List[int]] = {}
+        queue_by_tenant: Dict[str, List[int]] = {}
+        for completion in self.completions:
+            by_tenant.setdefault(completion.tenant, []).append(
+                completion.latency_cycles)
+            queue_by_tenant.setdefault(completion.tenant, []).append(
+                completion.queue_cycles)
+        if makespan_cycles is None:
+            if self.completions:
+                first = min(c.submitted_at for c in self.completions)
+                last = max(c.completed_at for c in self.completions)
+                makespan_cycles = last - first
+            else:
+                makespan_cycles = 0
+        return ServerReport(
+            clock_mhz=self.soc.clock_mhz,
+            makespan_cycles=makespan_cycles,
+            completions=list(self.completions),
+            rejections=list(self.rejections),
+            failures=list(self.failures),
+            latency_by_tenant={t: summarize_latencies(v)
+                               for t, v in sorted(by_tenant.items())},
+            queue_by_tenant={t: summarize_latencies(v)
+                             for t, v in sorted(queue_by_tenant.items())},
+            activity_by_tenant={t: dict(self._tenants[t].activity)
+                                for t in self._tenants},
+            batches_by_tenant={t: self._tenants[t].batches_served
+                               for t in self._tenants},
+            admitted=self.queue.admitted,
+            peak_queue_depth=self.queue.peak_depth,
+            arbiter_grants=self.arbiter.grants,
+            arbiter_wait_summary=(summarize_latencies(self._grant_waits)
+                                  if self._grant_waits else None),
+        )

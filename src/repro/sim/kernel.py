@@ -263,10 +263,22 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if not event.ok:
+                # A sub-event failed after the condition resolved (e.g.
+                # a pipeline thread interrupted once its plan already
+                # aborted): the condition delivered its value long ago,
+                # so absorb the straggler instead of crashing the loop.
+                event.__sim_defused__ = True  # type: ignore[attr-defined]
             return
         if not event.ok:
+            defused_source = getattr(event, "__sim_defused__", False)
             event.__sim_defused__ = True  # type: ignore[attr-defined]
             self.fail(event.value)
+            if defused_source:
+                # The failure was defused at its source (an interrupted
+                # process); if the condition's waiter has given up too,
+                # re-raising through the condition must stay quiet.
+                self.__sim_defused__ = True  # type: ignore[attr-defined]
             return
         self._count += 1
         if self._evaluate(self._events, self._count):

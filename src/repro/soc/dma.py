@@ -211,11 +211,17 @@ class DmaEngine:
                                      reply_to=self.coord,
                                      tag=self._new_tag(), data=chunk,
                                      coherent=coherent)
-                sends.append(self.mesh.send(Packet(
+                packet = Packet(
                     src=self.coord, dst=tile.coord,
                     plane=DMA_REQUEST_PLANE, kind=MessageKind.DMA_REQ,
                     payload_flits=self._flits(words, DMA_REQUEST_PLANE),
-                    payload=request, tag=request.tag)))
+                    payload=request, tag=request.tag)
+                # Posted-store tracking for memory quiescence: counted
+                # here, retired when the memory tile applies the write
+                # (or immediately if the NoC loses the packet).
+                self.memory_map.store_posted()
+                packet.on_lost = self.memory_map.store_retired
+                sends.append(self.mesh.send(packet))
                 position += words
                 cursor += words
         # Stores are posted: completion is the NoC accepting the data

@@ -25,7 +25,7 @@ from ..noc import (
     MessageKind,
     Packet,
 )
-from ..sim import Environment
+from ..sim import Environment, Event
 from .llc import LastLevelCache
 
 Coord = Tuple[int, int]
@@ -82,6 +82,9 @@ class MemoryTile:
         # Fault hook (None = fault-free, zero overhead) + upset count.
         self.fault_injector = None
         self.bitflips = 0
+        # Set by the owning MemoryMap; lets the tile retire posted
+        # stores for the map-level quiescence tracking.
+        self.parent_map: Optional["MemoryMap"] = None
         self._server_proc = env.process(self._server(),
                                         name=f"mem-server{coord}")
 
@@ -198,6 +201,8 @@ class MemoryTile:
                     ))
                 else:
                     self.write_words(request.offset, request.data)
+                    if self.parent_map is not None:
+                        self.parent_map.store_retired()
                 continue
             yield self.env.timeout(self._service_cycles(request.words))
             if request.op == "load":
@@ -220,6 +225,8 @@ class MemoryTile:
                 self.words_written += request.words
                 self.store_transactions += 1
                 self.write_words(request.offset, request.data)
+                if self.parent_map is not None:
+                    self.parent_map.store_retired()
 
 
 class MemoryMap:
@@ -239,7 +246,72 @@ class MemoryMap:
         for tile in self.tiles:
             self._bases.append(base)
             base += tile.size_words
+            tile.parent_map = self
         self.total_words = base
+        # Posted-store quiescence tracking: DMA stores are posted (the
+        # engine moves on once the NoC accepts the data), so a reader
+        # that bypasses the memory tile's request queue — the CPU-side
+        # result read of a serving loop — must first wait until every
+        # posted store has landed. Counters only; zero simulation cost.
+        self.stores_posted = 0
+        self.stores_retired = 0
+        self._stores_written_off = 0
+        self._quiesce_waiters: List[Event] = []
+
+    # -- posted-store quiescence ------------------------------------------
+
+    @property
+    def stores_in_flight(self) -> int:
+        """Posted DMA stores not yet applied by a memory tile."""
+        return max(0, self.stores_posted - self.stores_retired
+                   - self._stores_written_off)
+
+    def store_posted(self) -> None:
+        """A DMA engine handed one store request to the NoC."""
+        self.stores_posted += 1
+
+    def store_retired(self) -> None:
+        """A memory tile applied one posted store to its storage."""
+        self.stores_retired += 1
+        if self.stores_in_flight == 0:
+            waiters, self._quiesce_waiters = self._quiesce_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def write_off_in_flight(self) -> int:
+        """Declare currently in-flight stores lost (fault recovery).
+
+        A store whose request packet the NoC dropped will never retire;
+        after a bounded quiesce gives up, writing the stragglers off
+        keeps later quiesce waits from being poisoned forever. Returns
+        how many stores were written off.
+        """
+        lost = self.stores_in_flight
+        self._stores_written_off += lost
+        if lost and self.stores_in_flight == 0:
+            waiters, self._quiesce_waiters = self._quiesce_waiters, []
+            for event in waiters:
+                event.succeed()
+        return lost
+
+    def quiesce_event(self, env: Environment) -> Event:
+        """Event that triggers once no posted store is in flight."""
+        event = Event(env)
+        if self.stores_in_flight == 0:
+            event.succeed()
+        else:
+            event.wait_reason = (f"quiesce of {self.stores_in_flight} "
+                                 f"in-flight posted stores")
+            self._quiesce_waiters.append(event)
+        return event
+
+    def cancel_quiesce(self, event: Event) -> bool:
+        """Withdraw a pending :meth:`quiesce_event` (bounded wait)."""
+        try:
+            self._quiesce_waiters.remove(event)
+            return True
+        except ValueError:
+            return False
 
     def owner(self, offset: int) -> Tuple[MemoryTile, int]:
         """(tile, local_offset) owning the global word address."""

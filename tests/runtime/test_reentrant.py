@@ -1,0 +1,188 @@
+"""Tests for the re-entrant executor path and failure cleanup.
+
+``run_process`` is ``execute`` expressed as a sim process: several
+plans can be in flight on one SoC, and a plan that dies must put its
+tiles and buffers back so the SoC stays serviceable — the properties
+the serving layer is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    AcceleratorTimeout,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NodeFailed,
+    RecoveryPolicy,
+)
+from repro.runtime import EspRuntime, RuntimeCosts, chain
+from tests.conftest import make_runtime, make_soc, make_spec
+
+
+def two_stage_specs():
+    return [("a0", make_spec(name="a", latency=100)),
+            ("b0", make_spec(name="b", latency=60)),
+            ("c0", make_spec(name="c", latency=40))]
+
+
+def drive(runtime, *run_args, **run_kwargs):
+    """Run one ``run_process`` call to completion on the event loop."""
+    env = runtime.soc.env
+    process = env.process(
+        runtime.executor.run_process(*run_args, **run_kwargs),
+        name="drive")
+    return env.run(until=process)
+
+
+class TestRunProcess:
+    @pytest.mark.parametrize("mode", ["base", "pipe", "p2p"])
+    def test_bit_exact_with_blocking_execute(self, mode):
+        frames = np.random.default_rng(0).uniform(0, 1, (4, 16))
+        dataflow = chain("df", ["a0", "b0"])
+
+        reference = make_runtime(two_stage_specs())
+        expected = reference.esp_run(dataflow, frames, mode=mode)
+
+        runtime = make_runtime(two_stage_specs())
+        result = drive(runtime, dataflow, frames, mode)
+        np.testing.assert_array_equal(result.outputs, expected.outputs)
+        assert result.frames == 4
+        assert result.cycles > 0
+
+    def test_releases_buffers_on_completion(self):
+        runtime = make_runtime(two_stage_specs())
+        frames = np.ones((2, 16))
+        base_probe = runtime.allocator.alloc(1)
+        runtime.allocator.free(base_probe)
+        drive(runtime, chain("df", ["a0", "b0"]), frames, "p2p")
+        # Everything retracted: the next allocation lands at the base.
+        assert runtime.allocator.free_list_words == 0
+        assert runtime.allocator.alloc(1).offset == base_probe.offset
+
+    def test_release_buffers_false_keeps_plan_memory(self):
+        runtime = make_runtime(two_stage_specs())
+        frames = np.ones((2, 16))
+        result = drive(runtime, chain("df", ["a0", "b0"]), frames,
+                       "p2p", release_buffers=False)
+        assert result.frames == 2
+        probe = runtime.allocator.alloc(1)
+        assert probe.offset > 0        # plan buffers still resident
+
+    def test_rejects_bad_input_shape_and_releases(self):
+        runtime = make_runtime(two_stage_specs())
+        with pytest.raises(ValueError, match="words"):
+            drive(runtime, chain("df", ["a0"]), np.ones((2, 5)), "pipe")
+        assert runtime.allocator.free_list_words == 0
+        assert runtime.allocator.alloc(1).offset == 0
+
+    def test_two_plans_interleave_on_disjoint_tiles(self):
+        """The point of the whole refactor: two plans in flight on one
+        SoC, overlapping in simulated time, both bit-exact."""
+        runtime = make_runtime(two_stage_specs())
+        env = runtime.soc.env
+        fa = np.random.default_rng(1).uniform(0, 1, (4, 16))
+        fb = np.random.default_rng(2).uniform(0, 1, (4, 16))
+        results = {}
+        spans = {}
+
+        def run(key, dataflow, frames):
+            start = env.now
+            results[key] = yield from runtime.executor.run_process(
+                dataflow, frames, "pipe")
+            spans[key] = (start, env.now)
+
+        pa = env.process(run("a", chain("da", ["a0", "b0"]), fa),
+                         name="plan-a")
+        pb = env.process(run("b", chain("db", ["c0"]), fb),
+                         name="plan-b")
+        env.run(until=env.all_of([pa, pb]))
+
+        np.testing.assert_array_equal(results["a"].outputs, fa + 2.0)
+        np.testing.assert_array_equal(results["b"].outputs, fb + 1.0)
+        # Overlap in simulated time, not serialization.
+        assert spans["a"][0] < spans["b"][1]
+        assert spans["b"][0] < spans["a"][1]
+
+
+class TestFailureCleanup:
+    """A failed plan must leave the SoC serviceable: tiles reset,
+    stale IRQs drained, buffers freed."""
+
+    def poll_costs(self):
+        return RuntimeCosts(completion="poll", max_wait_cycles=5_000)
+
+    def hang_injector(self, soc, target="a0"):
+        FaultInjector(FaultPlan([
+            FaultSpec(kind="acc_hang", target=target, at_cycle=0,
+                      count=1)])).attach(soc)
+
+    def test_second_plan_succeeds_after_poll_timeout(self):
+        """The satellite scenario: a plan times out mid-pipeline; a
+        second plan over the same SoC right after must succeed."""
+        soc = make_soc(two_stage_specs())
+        self.hang_injector(soc)
+        runtime = EspRuntime(soc, costs=self.poll_costs())
+        dataflow = chain("df", ["a0", "b0"])
+        frames = np.random.default_rng(0).uniform(0, 1, (4, 16))
+
+        with pytest.raises(AcceleratorTimeout):
+            runtime.esp_run(dataflow, frames, mode="pipe")
+        # Cleanup ran: buffers retracted, tiles reset back to idle.
+        assert runtime.allocator.free_list_words == 0
+        from repro.soc.registers import STATUS_RUNNING
+        for tile in soc.accelerators.values():
+            assert tile.regs._values["STATUS_REG"] != STATUS_RUNNING
+
+        result = runtime.esp_run(dataflow, frames, mode="pipe")
+        np.testing.assert_array_equal(result.outputs, frames + 2.0)
+
+    def test_second_plan_succeeds_after_node_failed(self):
+        """Same, through the watchdog path with fallback disabled: the
+        failed device stays quarantined but the rest of the SoC works."""
+        soc = make_soc(two_stage_specs())
+        self.hang_injector(soc)
+        runtime = EspRuntime(
+            soc, recovery=RecoveryPolicy(watchdog_cycles=5_000,
+                                         max_retries=0,
+                                         software_fallback=False))
+        frames = np.random.default_rng(0).uniform(0, 1, (4, 16))
+
+        with pytest.raises(NodeFailed):
+            runtime.esp_run(chain("df", ["a0", "b0"]), frames,
+                            mode="pipe")
+        assert runtime.registry.is_failed("a0")
+        assert runtime.allocator.free_list_words == 0
+
+        result = runtime.esp_run(chain("df2", ["b0", "c0"]), frames,
+                                 mode="pipe")
+        np.testing.assert_array_equal(result.outputs, frames + 2.0)
+
+    def test_run_process_failure_releases_for_concurrent_peer(self):
+        """A dying plan must not poison a concurrently running one."""
+        soc = make_soc(two_stage_specs())
+        self.hang_injector(soc)
+        runtime = EspRuntime(soc, costs=self.poll_costs())
+        env = soc.env
+        fb = np.random.default_rng(3).uniform(0, 1, (4, 16))
+        outcome = {}
+
+        def doomed():
+            try:
+                yield from runtime.executor.run_process(
+                    chain("da", ["a0"]), np.ones((2, 16)), "pipe")
+            except AcceleratorTimeout as exc:
+                outcome["doomed"] = exc
+
+        def survivor():
+            outcome["ok"] = yield from runtime.executor.run_process(
+                chain("db", ["b0", "c0"]), fb, "pipe")
+
+        pa = env.process(doomed(), name="doomed")
+        pb = env.process(survivor(), name="survivor")
+        env.run(until=env.all_of([pa, pb]))
+
+        assert isinstance(outcome["doomed"], AcceleratorTimeout)
+        np.testing.assert_array_equal(outcome["ok"].outputs, fb + 2.0)
+        assert runtime.allocator.free_list_words == 0
