@@ -1,0 +1,128 @@
+"""Tracing benchmark: profile the Night-Vision p2p pipeline on SoC-1.
+
+Runs the paper's flagship application (nv0 -> cl0, p2p streaming) with
+the tracer attached and exercises the whole observability stack:
+
+- exports the run as Chrome trace-event JSON (``artifacts/trace.json``
+  by default — load it in Perfetto or ``chrome://tracing``) and checks
+  it against the schema validator;
+- prints the flame summary and the critical-path attribution of the
+  ``esp_run`` window, asserting the attribution covers >= 95% of the
+  end-to-end latency;
+- re-runs the identical workload on a fresh untraced runtime and
+  asserts cycle counts and outputs are bit-identical — the tracer's
+  zero-timing-impact contract.
+
+Run:  pytest benchmarks/bench_trace.py --benchmark-only -s
+or:   PYTHONPATH=src python benchmarks/bench_trace.py [--smoke]
+"""
+
+import argparse
+import os
+
+import numpy as np
+
+from repro.eval import build_soc1
+from repro.eval.apps import dataflow_nv_cl, nv_cl_inputs
+from repro.runtime import EspRuntime
+from repro.trace import (
+    analyze_run,
+    attach_tracer,
+    flame_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+#: Frames through the pipeline; the smoke variant (CI) trims the run.
+BENCH_FRAMES = 16
+SMOKE_FRAMES = 4
+
+#: Minimum fraction of the esp_run window the critical-path analyzer
+#: must attribute to a named group (the ISSUE acceptance bar).
+COVERAGE_BAR = 0.95
+
+
+def run_app(n_frames, tracing):
+    """One nv->cl p2p run; returns (runtime, result, tracer|None)."""
+    runtime = EspRuntime(build_soc1())
+    tracer = attach_tracer(runtime.soc) if tracing else None
+    frames, _ = nv_cl_inputs(n_frames, seed=0)
+    result = runtime.esp_run(dataflow_nv_cl(1, 1), frames, mode="p2p")
+    return runtime, result, tracer
+
+
+def run_trace_benchmark(n_frames=BENCH_FRAMES,
+                        trace_path="artifacts/trace.json"):
+    """Traced + untraced runs, export, validation and attribution."""
+    runtime, traced, tracer = run_app(n_frames, tracing=True)
+    _, untraced, _ = run_app(n_frames, tracing=False)
+
+    os.makedirs(os.path.dirname(trace_path) or ".", exist_ok=True)
+    trace = write_chrome_trace(tracer, trace_path,
+                               clock_mhz=runtime.soc.clock_mhz)
+    return {
+        "traced": traced,
+        "untraced": untraced,
+        "tracer": tracer,
+        "trace": trace,
+        "trace_path": trace_path,
+        "problems": validate_chrome_trace(trace),
+        "report": analyze_run(tracer),
+        "clock_mhz": runtime.soc.clock_mhz,
+    }
+
+
+def check(results):
+    assert results["problems"] == [], results["problems"]
+    report = results["report"]
+    assert report.coverage >= COVERAGE_BAR, (
+        f"critical path attributes only {report.coverage:.1%} "
+        f"of the run (bar: {COVERAGE_BAR:.0%})\n" + report.render())
+    traced, untraced = results["traced"], results["untraced"]
+    assert traced.cycles == untraced.cycles, (
+        f"tracing perturbed the run: {traced.cycles} != "
+        f"{untraced.cycles} cycles")
+    assert traced.ioctl_calls == untraced.ioctl_calls
+    assert (np.asarray(traced.outputs) ==
+            np.asarray(untraced.outputs)).all()
+
+
+def render(results):
+    tracer = results["tracer"]
+    lines = [flame_summary(tracer, top=12), "",
+             results["report"].render(), ""]
+    lines.append(
+        f"exported {len(results['trace']['traceEvents'])} events "
+        f"({len(tracer.spans)} spans, {len(tracer.instants)} instants, "
+        f"{len(tracer.counters)} counter samples) to "
+        f"{results['trace_path']}")
+    lines.append(
+        f"traced run: {results['traced'].cycles:,} cycles @ "
+        f"{results['clock_mhz']:.0f} MHz; untraced run identical: "
+        f"{results['traced'].cycles == results['untraced'].cycles}")
+    return "\n".join(lines)
+
+
+def test_traced_pipeline(once, tmp_path):
+    results = once(run_trace_benchmark, BENCH_FRAMES,
+                   str(tmp_path / "trace.json"))
+    print("\n" + render(results))
+    check(results)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run + assertions only (CI)")
+    parser.add_argument("--out", default="artifacts/trace.json",
+                        help="where to write the Chrome trace JSON")
+    args = parser.parse_args()
+    n_frames = SMOKE_FRAMES if args.smoke else BENCH_FRAMES
+    results = run_trace_benchmark(n_frames, trace_path=args.out)
+    print(render(results))
+    check(results)
+    print("tracing benchmark: all assertions passed")
+
+
+if __name__ == "__main__":
+    main()

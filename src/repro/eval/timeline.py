@@ -1,46 +1,46 @@
 """Execution timelines: what each accelerator did, cycle by cycle.
 
-Renders a text Gantt chart from the invocation records the accelerator
-sockets keep, which makes the difference between the three execution
-modes visible at a glance: serial staircases in ``base``, overlapping
-per-frame bars in ``pipe``, one long streaming bar per device in
-``p2p``.
+Renders a text Gantt chart from the shared device-span store
+(:mod:`repro.trace.store` — the same source the VCD exporter reads),
+which makes the difference between the three execution modes visible
+at a glance: serial staircases in ``base``, overlapping per-frame bars
+in ``pipe``, one long streaming bar per device in ``p2p``. Columns
+covered by a single invocation render as ``#``; columns where two
+invocations of one device overlap (concurrent per-frame bars mapped to
+the same column) render as ``@``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..trace.store import DeviceSpan, device_spans
 from ..soc import SoCInstance
 
+#: Re-exported under the historical name: the timeline's span type is
+#: the shared device-span record.
+Span = DeviceSpan
 
-@dataclass(frozen=True)
-class Span:
-    """One busy interval of one device."""
-
-    device: str
-    start: int
-    end: int
-
-    @property
-    def cycles(self) -> int:
-        return self.end - self.start
+#: Gantt glyphs: one invocation covers the column / several overlap.
+GANTT_BUSY = "#"
+GANTT_OVERLAP = "@"
 
 
 def collect_spans(soc: SoCInstance,
                   since_cycle: int = 0) -> List[Span]:
     """Invocation spans of every accelerator, in start order."""
-    spans = [Span(name, inv.start_cycle, inv.end_cycle)
-             for name, tile in soc.accelerators.items()
-             for inv in tile.invocations
-             if inv.end_cycle > since_cycle]
-    return sorted(spans, key=lambda s: (s.start, s.device))
+    return device_spans(soc, since_cycle=since_cycle)
 
 
 def utilization_by_device(soc: SoCInstance,
                           window: Optional[Tuple[int, int]] = None):
-    """Fraction of the window each device spent executing."""
+    """Fraction of the window each device spent executing.
+
+    Spans are clipped to the window, and each device's busy total is
+    clamped to the window length, so the result is always in
+    ``[0, 1]`` even when a device's invocations overlap (double-booked
+    cycles count once at the cap).
+    """
     spans = collect_spans(soc)
     if window is None:
         if not spans:
@@ -48,11 +48,12 @@ def utilization_by_device(soc: SoCInstance,
         window = (min(s.start for s in spans), max(s.end for s in spans))
     lo, hi = window
     length = max(1, hi - lo)
-    busy = {}
+    busy: Dict[str, int] = {}
     for span in spans:
         overlap = max(0, min(span.end, hi) - max(span.start, lo))
         busy[span.device] = busy.get(span.device, 0) + overlap
-    return {device: cycles / length for device, cycles in busy.items()}
+    return {device: min(cycles, length) / length
+            for device, cycles in busy.items()}
 
 
 def render_gantt(soc: SoCInstance, width: int = 72,
@@ -76,7 +77,8 @@ def render_gantt(soc: SoCInstance, width: int = 72,
             lo = int((span.start - t0) / scale)
             hi = max(lo + 1, int((span.end - t0) / scale))
             for col in range(lo, min(hi, width)):
-                row[col] = "#" if row[col] == " " else "#"
+                row[col] = GANTT_BUSY if row[col] == " " \
+                    else GANTT_OVERLAP
         lines.append(f"{device:<{label_width}}|{''.join(row)}|")
     util = utilization_by_device(soc, window=(t0, t1))
     lines.append("utilization: " + "  ".join(

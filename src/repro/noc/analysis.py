@@ -10,7 +10,7 @@ heatmap of a plane).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .mesh import Mesh2D
 from .routing import hop_count
@@ -88,7 +88,8 @@ class LinkUtilization:
 
 
 def link_utilizations(mesh: Mesh2D, plane: str,
-                      elapsed: int = None) -> List[LinkUtilization]:
+                      elapsed: Optional[int] = None
+                      ) -> List[LinkUtilization]:
     """Per-link utilization on one plane, busiest first."""
     if plane not in mesh.planes:
         raise ValueError(f"unknown plane {plane!r}")
@@ -104,7 +105,7 @@ def link_utilizations(mesh: Mesh2D, plane: str,
 
 
 def utilization_heatmap(mesh: Mesh2D, plane: str,
-                        elapsed: int = None) -> str:
+                        elapsed: Optional[int] = None) -> str:
     """ASCII heatmap: per-tile total flits forwarded on ``plane``.
 
     Each cell aggregates the flits of the links *leaving* that tile —

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..sim import Environment, Resource
 
@@ -37,7 +37,7 @@ class Link:
         self.flits_carried += flits
         self.packets_carried += 1
 
-    def utilization(self, elapsed: int = None) -> float:
+    def utilization(self, elapsed: Optional[int] = None) -> float:
         return self.channel.utilization(elapsed)
 
     def __repr__(self) -> str:

@@ -138,22 +138,38 @@ class Mesh2D:
 
     def _transmit(self, packet: Packet):
         packet.injected_at = self.env.now
+        tracer = self.env.tracer
+        sid = None
+        if tracer is not None:
+            sid = tracer.begin(
+                "noc", packet.plane, packet.kind.name, "noc.packet",
+                src=str(packet.src), dst=str(packet.dst),
+                flits=packet.size_flits)
         if packet.src == packet.dst:
             # Local ejection: no links, one router traversal.
             yield self.env.timeout(self.router_latency)
         else:
             hops = route_hops(packet.src, packet.dst)
             held: List[Link] = []
+            held_sids: List[int] = []
             for hop_src, hop_dst in hops:
                 link = self.links[(hop_src, hop_dst, packet.plane)]
                 yield link.channel.acquire()
+                if tracer is not None:
+                    link_sid = tracer.begin(
+                        "noc", f"{packet.plane} {link.src}->{link.dst}",
+                        packet.kind.name, "noc.link",
+                        flits=packet.size_flits)
+                    held_sids.append(link_sid)
                 held.append(link)
                 yield self.env.timeout(self.router_latency)
             # Head reached the destination; the body drains behind it.
             yield self.env.timeout(packet.size_flits)
-            for link in held:
+            for index, link in enumerate(held):
                 link.record(packet.size_flits)
                 link.channel.release()
+                if tracer is not None:
+                    tracer.end(held_sids[index])
             self.flit_hops += packet.size_flits * len(held)
         if self.fault_injector is not None:
             # Delivery faults strike after the wormhole released every
@@ -163,6 +179,8 @@ class Mesh2D:
             action = self.fault_injector.on_deliver(packet, self.env.now)
             if action == "drop":
                 self.packets_dropped += 1
+                if sid is not None:
+                    tracer.end(sid, outcome="dropped")
                 if packet.on_lost is not None:
                     packet.on_lost()
                 return packet
@@ -171,6 +189,8 @@ class Mesh2D:
                 # ejection and discards it — corruption is detected,
                 # never silently delivered.
                 self.packets_corrupted += 1
+                if sid is not None:
+                    tracer.end(sid, outcome="corrupted")
                 if packet.on_lost is not None:
                     packet.on_lost()
                 return packet
@@ -179,6 +199,8 @@ class Mesh2D:
         self.total_latency += packet.latency
         self.delivered_by_kind[packet.kind] = (
             self.delivered_by_kind.get(packet.kind, 0) + 1)
+        if sid is not None:
+            tracer.end(sid, outcome="delivered")
         yield self._inboxes[(packet.dst, packet.plane)].put(packet)
         return packet
 

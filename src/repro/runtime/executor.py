@@ -286,13 +286,20 @@ class DataflowExecutor:
                 inter_buffers.append(self.allocator.alloc(
                     n_frames * words,
                     label=f"{dataflow.name}:l{boundary}"))
-        return ExecutionPlan(dataflow=dataflow, mode=mode,
+        plan = ExecutionPlan(dataflow=dataflow, mode=mode,
                              n_frames=n_frames, levels=levels,
                              input_buffer=input_buffer,
                              output_buffer=output_buffer,
                              inter_buffers=inter_buffers,
                              coherent=coherent, dvfs=dvfs,
                              abort=self.soc.env.event())
+        tracer = self.soc.env.tracer
+        if tracer is not None:
+            for buffer in plan.buffers:
+                tracer.instant("cpu", "alloc", buffer.label or "buffer",
+                               "runtime.alloc", offset=buffer.offset,
+                               words=buffer.words)
+        return plan
 
     @staticmethod
     def _check_geometry(levels: List[List[NodePlan]]) -> None:
@@ -333,9 +340,15 @@ class DataflowExecutor:
             (DVFS_REG, divider),
             (CMD_REG, CMD_START),
         )
+        tracer = env.tracer
+        sid = None if tracer is None else tracer.begin(
+            "cpu", f"driver:{node.name}", "config", "runtime.config",
+            device=node.name)
         for reg, value in writes:
             yield env.timeout(self.costs.reg_write_cycles)
             yield from cpu.write_reg(coord, reg, value)
+        if sid is not None:
+            tracer.end(sid)
 
     def _invoke(self, plan: ExecutionPlan, node: NodePlan,
                 src_offset: int, dst_offset: int,
@@ -348,10 +361,19 @@ class DataflowExecutor:
         coord = node.device.coord
         self.ioctl_calls += 1
         plan.ioctl_calls += 1
+        tracer = env.tracer
+        tid = f"driver:{node.name}"
+        sid = None if tracer is None else tracer.begin(
+            "cpu", tid, "ioctl", "runtime.ioctl", device=node.name)
         yield env.timeout(self.costs.ioctl_cycles)
+        if sid is not None:
+            tracer.end(sid)
         yield from self._program_and_start(
             node, src_offset, dst_offset, n_frames, p2p, src_stride,
             dst_stride, coherent, divider)
+        sid = None if tracer is None else tracer.begin(
+            "cpu", tid, "wait-completion", "runtime.irq_wait",
+            device=node.name)
         if self.costs.completion == "poll":
             poll_start = env.now
             while True:
@@ -371,6 +393,8 @@ class DataflowExecutor:
             yield from cpu.wait_irq(node.name)
         else:
             yield from cpu.wait_irq(node.name)
+        if sid is not None:
+            tracer.end(sid)
 
     def _await_completion(self, node: NodePlan, watchdog_cycles: int):
         """IRQ race against the watchdog; True when the IRQ arrived.
@@ -411,7 +435,13 @@ class DataflowExecutor:
         policy = self.recovery
         self.ioctl_calls += 1
         plan.ioctl_calls += 1
+        tracer = env.tracer
+        tid = f"driver:{node.name}"
+        sid = None if tracer is None else tracer.begin(
+            "cpu", tid, "ioctl", "runtime.ioctl", device=node.name)
         yield env.timeout(self.costs.ioctl_cycles)
+        if sid is not None:
+            tracer.end(sid)
         for attempt in range(max_attempts):
             if attempt:
                 self.retries += 1
@@ -422,8 +452,13 @@ class DataflowExecutor:
             yield from self._program_and_start(
                 node, src_offset, dst_offset, n_frames, p2p, src_stride,
                 dst_stride, coherent, divider)
+            sid = None if tracer is None else tracer.begin(
+                "cpu", tid, "wait-completion", "runtime.irq_wait",
+                device=node.name, attempt=attempt)
             arrived = yield from self._await_completion(
                 node, policy.watchdog_for(attempt))
+            if sid is not None:
+                tracer.end(sid, arrived=arrived)
             if arrived:
                 status = yield from cpu.read_reg_bounded(
                     coord, STATUS_REG, policy.watchdog_cycles)
@@ -457,6 +492,10 @@ class DataflowExecutor:
         dst_step = dst_stride or spec.output_words
         cost = max(1, int(spec.latency_cycles
                           * self.recovery.software_slowdown))
+        tracer = env.tracer
+        sid = None if tracer is None else tracer.begin(
+            "cpu", f"driver:{node.name}", "software-fallback",
+            "runtime.software", device=node.name, frames=n_frames)
         for index in range(n_frames):
             yield env.timeout(cost)
             frame = memory.read_words(src_offset + index * src_step,
@@ -465,6 +504,8 @@ class DataflowExecutor:
                                spec.run(frame))
             self.software_frames += 1
             plan.software_frames += 1
+        if sid is not None:
+            tracer.end(sid)
 
     def _run_node(self, plan: ExecutionPlan, node: NodePlan,
                   src_offset: int, dst_offset: int, n_frames: int,
@@ -543,9 +584,15 @@ class DataflowExecutor:
         p2p stream on a device marked failed raises immediately).
         """
         env = self.soc.env
+        tracer = env.tracer
         for row in plan.levels:
             for node in row:
+                sid = None if tracer is None else tracer.begin(
+                    "cpu", f"driver:{node.name}", "pthread-create",
+                    "runtime.spawn", device=node.name)
                 yield env.timeout(self.costs.thread_spawn_cycles)
+                if sid is not None:
+                    tracer.end(sid)
                 if plan.failure is not None:
                     raise plan.failure
                 plan.threads.append(env.process(
@@ -598,8 +645,14 @@ class DataflowExecutor:
                 producers = plan.levels[node.level - 1]
                 producer = producers[frame % len(producers)]
                 needed = (frame - producer.index) // producer.siblings + 1
+                tracer = env.tracer
+                sid = None if tracer is None else tracer.begin(
+                    "cpu", f"driver:{node.name}", "frame-sync",
+                    "runtime.sync", producer=producer.name, frame=frame)
                 yield env.timeout(self.costs.sync_cycles)
                 yield counters[producer.name].wait_until(needed)
+                if sid is not None:
+                    tracer.end(sid)
             src = self._frame_addr(self._src_buffer(plan, node.level),
                                    frame, spec.input_words)
             dst = self._frame_addr(self._dst_buffer(plan, node.level),
@@ -644,8 +697,15 @@ class DataflowExecutor:
                 else:
                     needed = (frame - producer.index) \
                         // producer.siblings + 1
+                    tracer = env.tracer
+                    sid = None if tracer is None else tracer.begin(
+                        "cpu", f"driver:{node.name}", "frame-sync",
+                        "runtime.sync", producer=producer.name,
+                        frame=frame)
                     yield env.timeout(self.costs.sync_cycles)
                     yield counters[producer.name].wait_until(needed)
+                    if sid is not None:
+                        tracer.end(sid)
                     src = self._frame_addr(
                         plan.inter_buffers[node.level - 1], frame,
                         spec.input_words)
@@ -773,6 +833,10 @@ class DataflowExecutor:
             self._cleanup_failed(plan, done)
             raise
         cycles = env.now - start
+        if env.tracer is not None:
+            env.tracer.complete(
+                "cpu", "main", f"{mode}:{dataflow.name}", "runtime.run",
+                start, env.now, frames=plan.n_frames, degraded=degraded)
         # Drain the schedule: stores are posted, so the final write may
         # still be in the memory tile's request queue when the IRQ
         # lands. Dependent DMA traffic is ordered by that queue, but the
@@ -985,6 +1049,10 @@ class DataflowExecutor:
             yield from self._abort_and_release(plan)
             raise
         cycles = env.now - start
+        if env.tracer is not None:
+            env.tracer.complete(
+                "cpu", "main", f"{mode}:{dataflow.name}", "runtime.run",
+                start, env.now, frames=plan.n_frames, degraded=degraded)
         # Posted stores: the final write may still be in flight when
         # the IRQ lands; wait for it to retire before the CPU-side
         # read below (the serving analogue of execute's global drain —

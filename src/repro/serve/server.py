@@ -186,6 +186,7 @@ class InferenceServer:
         self._work: Dict[str, object] = {}
         self._terminal = Counter(self.env, name="serve:terminal")
         self._grant_waits: List[int] = []
+        self._request_sids: Dict[str, int] = {}
         self._started = False
         self.completions: List[Completion] = []
         self.rejections: List[Rejection] = []
@@ -262,7 +263,24 @@ class InferenceServer:
         rejection = self.queue.submit(request, now=self.env.now)
         if rejection is not None:
             self.rejections.append(rejection)
-        return rejection
+            return rejection
+        tracer = self.env.tracer
+        if tracer is not None:
+            self._request_sids[request.request_id] = tracer.begin(
+                "serve", f"tenant:{tenant}", request.request_id,
+                "serve.request", tenant=tenant,
+                frames=request.n_frames, priority=priority)
+            tracer.instant("serve", f"tenant:{tenant}", "admit",
+                           "serve.submit", request=request.request_id)
+            tracer.counter("serve", "queue_depth",
+                           depth=self.queue.depth)
+        return None
+
+    def _end_request_span(self, request_id: str, outcome: str) -> None:
+        """Close a request's trace span at its terminal state."""
+        sid = self._request_sids.pop(request_id, None)
+        if sid is not None and self.env.tracer is not None:
+            self.env.tracer.end(sid, outcome=outcome)
 
     def _on_admit(self, request: InferenceRequest) -> None:
         event = self._work.get(request.tenant)
@@ -288,6 +306,11 @@ class InferenceServer:
                 yield env.timeout(tenant.config.batch_window_cycles)
             requests = self.queue.drain(
                 name, tenant.batcher.max_batch_frames)
+            if env.tracer is not None:
+                env.tracer.counter("serve", "queue_depth",
+                                   depth=self.queue.depth)
+                env.tracer.instant("serve", f"tenant:{name}", "batch",
+                                   "serve.batch", requests=len(requests))
             batch = tenant.batcher.form(requests)
             granted = yield from self._acquire_tiles(tenant, batch)
             if not granted:
@@ -306,6 +329,10 @@ class InferenceServer:
                        + [r.priority for r in batch.requests])
         est = tenant.est_cycles_per_frame * batch.total_frames
         queued = env.now
+        tracer = env.tracer
+        sid = None if tracer is None else tracer.begin(
+            "serve", f"tenant:{tenant.config.name}", "grant-wait",
+            "serve.grant_wait", tiles=len(tenant.tiles))
         claim = self.arbiter.acquire(
             tenant.tiles, priority=priority, est_cycles=est,
             label=tenant.config.name)
@@ -313,18 +340,24 @@ class InferenceServer:
             yield claim
         except TileUnavailable as exc:
             if not self._can_degrade():
+                if sid is not None:
+                    tracer.end(sid, granted=False)
                 for request in batch.requests:
                     self.rejections.append(Rejection(
                         request_id=request.request_id,
                         tenant=request.tenant,
                         reason=REJECT_TILE_UNAVAILABLE, at=env.now,
                         detail=str(exc)))
+                    self._end_request_span(request.request_id,
+                                           "rejected")
                     self._terminal.increment()
                 return False
             claim = self.arbiter.acquire(
                 tenant.tiles, priority=priority, est_cycles=est,
                 allow_unavailable=True, label=tenant.config.name)
             yield claim
+        if sid is not None:
+            tracer.end(sid, granted=True)
         self._grant_waits.append(env.now - queued)
         return True
 
@@ -335,6 +368,11 @@ class InferenceServer:
         started = env.now
         names = sorted(tenant.tiles)
         before = tile_activity(self.soc, names)
+        tracer = env.tracer
+        sid = None if tracer is None else tracer.begin(
+            "serve", f"tenant:{config.name}", "dispatch",
+            "serve.dispatch", mode=config.mode,
+            frames=batch.total_frames, requests=batch.n_requests)
         error: Optional[BaseException] = None
         result = None
         try:
@@ -342,6 +380,8 @@ class InferenceServer:
                 config.dataflow, batch.frames, config.mode,
                 coherent=config.coherent, dvfs=config.dvfs)
         except Interrupt:
+            if sid is not None:
+                tracer.end(sid, outcome="interrupted")
             self.arbiter.release(tenant.tiles)
             raise
         except Exception as exc:
@@ -354,6 +394,8 @@ class InferenceServer:
                 activity if held is None else held + activity
         self.arbiter.release(tenant.tiles)
         self._quarantine_failed(tenant)
+        if sid is not None:
+            tracer.end(sid, outcome="failed" if error else "completed")
         if error is not None:
             for request in batch.requests:
                 self.failures.append(Failure(
@@ -361,6 +403,7 @@ class InferenceServer:
                     tenant=request.tenant,
                     submitted_at=request.submitted_at,
                     failed_at=env.now, error=error))
+                self._end_request_span(request.request_id, "failed")
                 self._terminal.increment()
             return
         tenant.batches_served += 1
@@ -377,6 +420,7 @@ class InferenceServer:
                 batch_requests=batch.n_requests,
                 degraded=result.degraded,
                 outputs=np.array(outputs, copy=True)))
+            self._end_request_span(request.request_id, "completed")
             self._terminal.increment()
 
     def _quarantine_failed(self, tenant: _Tenant) -> None:

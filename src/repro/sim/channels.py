@@ -219,12 +219,21 @@ class Resource:
         event.succeed()
 
     def utilization(self, elapsed: Optional[int] = None) -> float:
-        """Fraction of time the resource was held at least once."""
+        """Fraction of a window the resource was held at least once.
+
+        The window is the trailing ``elapsed`` cycles ending now (the
+        whole run when ``elapsed`` is ``None``). Busy time is tracked
+        over the resource's lifetime, so against a shorter window it is
+        clamped to the window — the result is always in ``[0, 1]``,
+        with 1.0 meaning "held for at least the whole window".
+        """
         busy = self.busy_cycles
         if self._busy_since is not None:
             busy += self.env.now - self._busy_since
         span = elapsed if elapsed is not None else self.env.now
-        return busy / span if span > 0 else 0.0
+        if span <= 0:
+            return 0.0
+        return min(busy, span) / span
 
 
 class Semaphore:

@@ -155,6 +155,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        self._created_at = env.now
         env._register_process(self)
         # Bootstrap: resume once at the current time.
         init = Event(env)
@@ -219,6 +220,10 @@ class Process(Event):
                     target = self._generator.throw(event.value)
             except StopIteration as stop:
                 self.env._active_proc = None
+                if self.env.tracer is not None:
+                    self.env.tracer.complete(
+                        "sim", "processes", self.name, "sim.process",
+                        self._created_at, self.env.now, outcome="done")
                 self.succeed(getattr(stop, "value", None))
                 return
             except BaseException as exc:
@@ -226,6 +231,11 @@ class Process(Event):
                 # through this process event. If nobody defuses it, the
                 # exception surfaces from Environment.step().
                 self.env._active_proc = None
+                if self.env.tracer is not None:
+                    self.env.tracer.complete(
+                        "sim", "processes", self.name, "sim.process",
+                        self._created_at, self.env.now, outcome="failed",
+                        error=type(exc).__name__)
                 self.fail(exc)
                 return
 
@@ -309,6 +319,9 @@ class Environment:
         self._active_proc: Optional[Process] = None
         self._processes: List[Process] = []
         self._prune_at = 64
+        #: Optional cycle-level tracer (see :mod:`repro.trace`). ``None``
+        #: keeps every instrumentation site on its one-comparison path.
+        self.tracer = None
 
     @property
     def now(self) -> int:

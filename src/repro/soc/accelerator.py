@@ -97,6 +97,7 @@ class AcceleratorTile:
                              word_bits=spec.word_bits,
                              max_burst_words=max(spec.input_words,
                                                  spec.output_words))
+        self.dma.owner = device_name
         self._start = Semaphore(env, name=f"start:{device_name}")
         self.regs.on_write(self._on_reg_write)
 
@@ -145,6 +146,9 @@ class AcceleratorTile:
             self.host_reset()
 
     def _raise_irq(self) -> None:
+        if self.env.tracer is not None:
+            self.env.tracer.instant(self.device_name, "socket", "irq",
+                                    "acc.irq", status=self.status)
         self.mesh.send(Packet(
             src=self.coord, dst=self.irq_dst, plane=IO_PLANE,
             kind=MessageKind.IRQ, payload_flits=0,
@@ -238,6 +242,9 @@ class AcceleratorTile:
                 self._abort = None
                 self.kernel_crashes += 1
                 self.regs._values["STATUS_REG"] = STATUS_ERROR
+                if env.tracer is not None:
+                    env.tracer.instant(self.device_name, "socket",
+                                       "kernel-crash", "acc.crash")
                 self._raise_irq()
                 continue
             self._abort = None
@@ -249,8 +256,20 @@ class AcceleratorTile:
                 self.dma.reset()
                 self.regs._values[CMD_REG] = 0
                 self.regs._values["STATUS_REG"] = STATUS_IDLE
+                if env.tracer is not None:
+                    env.tracer.instant(self.device_name, "socket",
+                                       "host-reset", "acc.abort")
                 continue
             result = work.value
+            if env.tracer is not None:
+                # Mirrors the invocation record exactly, so views built
+                # from the tracer agree with views built from the socket
+                # counters (the store-unification invariant).
+                env.tracer.complete(
+                    self.device_name, "socket", self.spec.name,
+                    "acc.invocation", result.start_cycle,
+                    result.end_cycle, device=self.device_name,
+                    frames=result.frames)
             self.invocations.append(result)
             self.frames_processed += result.frames
             self.busy_cycles += result.cycles

@@ -96,6 +96,10 @@ class DmaEngine:
         # Fault hook (None = fault-free, zero overhead).
         self.fault_injector = None
 
+        # Trace label: the owning tile overwrites this with its device
+        # name so spans group under the tile in the trace viewer.
+        self.owner = f"tile{coord}"
+
         env.process(self._response_dispatcher(),
                     name=f"dma-rsp-dispatch{coord}")
         env.process(self._p2p_server(), name=f"p2p-server{coord}")
@@ -160,6 +164,10 @@ class DmaEngine:
 
     def _dma_load(self, offset: int, n_words: int,
                   coherent: bool = False):
+        tracer = self.env.tracer
+        sid = None if tracer is None else tracer.begin(
+            self.owner, "dma.load", f"load[{n_words}w]", "dma.load",
+            offset=offset, words=n_words, coherent=coherent)
         if self.fault_injector is not None:
             yield from self._maybe_stall()
         yield self.env.timeout(self.tlb.translate(offset, n_words))
@@ -189,12 +197,18 @@ class DmaEngine:
             del self._responses[tag]
         self.dma_loads += 1
         self.words_loaded += n_words
+        if sid is not None:
+            tracer.end(sid)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
     def _dma_store(self, offset: int, data: np.ndarray,
                    coherent: bool = False):
         data = np.asarray(data, dtype=np.float64).reshape(-1)
         n_words = len(data)
+        tracer = self.env.tracer
+        sid = None if tracer is None else tracer.begin(
+            self.owner, "dma.store", f"store[{n_words}w]", "dma.store",
+            offset=offset, words=n_words, coherent=coherent)
         if self.fault_injector is not None:
             yield from self._maybe_stall()
         yield self.env.timeout(self.tlb.translate(offset, n_words))
@@ -231,6 +245,8 @@ class DmaEngine:
             yield send
         self.dma_stores += 1
         self.words_stored += n_words
+        if sid is not None:
+            tracer.end(sid)
         return None
 
     # -- p2p -------------------------------------------------------------------
@@ -239,6 +255,10 @@ class DmaEngine:
         """Receiver side: on-demand request to the next source tile."""
         source = p2p.sources[self._p2p_round_robin % len(p2p.sources)]
         self._p2p_round_robin += 1
+        tracer = self.env.tracer
+        sid = None if tracer is None else tracer.begin(
+            self.owner, "dma.load", f"p2p-load[{n_words}w]",
+            "dma.p2p_load", source=str(source), words=n_words)
         tag = self._new_tag()
         request = P2PLoadRequest(words=n_words, word_bits=self.word_bits,
                                  reply_to=self.coord, tag=tag)
@@ -257,6 +277,8 @@ class DmaEngine:
         del self._responses[tag]
         self.p2p_loads += 1
         self.words_loaded += n_words
+        if sid is not None:
+            tracer.end(sid)
         return np.asarray(packet.payload)
 
     def _p2p_store(self, data: np.ndarray):
@@ -267,9 +289,15 @@ class DmaEngine:
         downstream accelerator is ready (consumption assumption).
         """
         data = np.asarray(data, dtype=np.float64).reshape(-1)
+        tracer = self.env.tracer
+        sid = None if tracer is None else tracer.begin(
+            self.owner, "dma.store", f"p2p-store[{len(data)}w]",
+            "dma.p2p_store", words=len(data))
         yield self._p2p_store_queue.put(data)
         self.p2p_stores += 1
         self.words_stored += len(data)
+        if sid is not None:
+            tracer.end(sid)
         return None
 
     def _p2p_server(self):
@@ -282,6 +310,11 @@ class DmaEngine:
                 raise TypeError(
                     f"accelerator tile {self.coord} received unexpected "
                     f"request {request!r} on the DMA request plane")
+            tracer = self.env.tracer
+            sid = None if tracer is None else tracer.begin(
+                self.owner, "p2p-server", f"serve[{request.words}w]",
+                "dma.p2p_serve", reply_to=str(request.reply_to),
+                words=request.words)
             chunk = yield self._p2p_store_queue.get()
             if len(chunk) != request.words:
                 raise ValueError(
@@ -294,6 +327,8 @@ class DmaEngine:
                 payload_flits=self._flits(request.words,
                                           DMA_RESPONSE_PLANE),
                 payload=chunk, tag=request.tag))
+            if sid is not None:
+                tracer.end(sid)
 
     # -- public API (what the wrapper calls) -------------------------------------
 

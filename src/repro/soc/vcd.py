@@ -5,13 +5,20 @@ per-accelerator ``busy`` and the occupancy of the NoC's DMA-plane
 links — as a standard Value Change Dump file viewable in GTKWave &co.
 Link signals require the SoC to be built with ``trace_links=True``
 (:func:`repro.soc.build_soc`); accelerator signals come from the
-invocation records every socket keeps.
+shared device-span store (:mod:`repro.trace.store`), the same source
+the Gantt chart and utilization summaries read.
+
+Timebase: simulation timestamps are clock cycles, so the emitted
+``$timescale`` is picoseconds with every timestamp multiplied by the
+cycle period — a viewer then shows true wall-clock time for any SoC
+clock (78 MHz has a non-integer period in ns, hence ps).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..trace.store import device_spans
 from .soc_builder import SoCInstance
 
 #: Printable VCD identifier characters.
@@ -36,6 +43,37 @@ def _sanitize(name: str) -> str:
     return "".join(out)
 
 
+def picoseconds_per_cycle(clock_mhz: float) -> int:
+    """The VCD timestamp multiplier: one cycle's period in ps."""
+    if clock_mhz <= 0:
+        raise ValueError(f"clock_mhz must be > 0, got {clock_mhz}")
+    return max(1, round(1e6 / clock_mhz))
+
+
+def parse_vcd_timescale(vcd: str) -> Tuple[int, str]:
+    """Round-trip check helper: the ``(magnitude, unit)`` of a VCD.
+
+    Parses the ``$timescale`` declaration out of VCD text; raises
+    ``ValueError`` when the declaration is missing or malformed.
+    """
+    for line in vcd.splitlines():
+        line = line.strip()
+        if not line.startswith("$timescale"):
+            continue
+        body = line[len("$timescale"):].replace("$end", "").strip()
+        for index, ch in enumerate(body):
+            if not ch.isdigit():
+                magnitude, unit = body[:index], body[index:].strip()
+                break
+        else:
+            raise ValueError(f"malformed $timescale: {line!r}")
+        if not magnitude or unit not in ("s", "ms", "us", "ns", "ps",
+                                         "fs"):
+            raise ValueError(f"malformed $timescale: {line!r}")
+        return int(magnitude), unit
+    raise ValueError("no $timescale declaration found")
+
+
 def emit_vcd(soc: SoCInstance, include_links: bool = True,
              max_links: int = 16) -> str:
     """Render the run as VCD text.
@@ -55,13 +93,13 @@ def emit_vcd(soc: SoCInstance, include_links: bool = True,
         variables.append((scope, _sanitize(name), ident))
         return ident
 
+    idents: Dict[str, str] = {}
     for device in sorted(soc.accelerators):
-        tile = soc.accelerators[device]
-        ident = new_var("accelerators", f"{device}_busy")
-        changes.append((0, ident, 0))
-        for invocation in tile.invocations:
-            changes.append((invocation.start_cycle, ident, 1))
-            changes.append((invocation.end_cycle, ident, 0))
+        idents[device] = new_var("accelerators", f"{device}_busy")
+        changes.append((0, idents[device], 0))
+    for span in device_spans(soc):
+        changes.append((span.start, idents[span.device], 1))
+        changes.append((span.end, idents[span.device], 0))
 
     if include_links:
         traced = [link for link in soc.mesh.links.values()
@@ -76,13 +114,14 @@ def emit_vcd(soc: SoCInstance, include_links: bool = True,
             for when, in_use in link.channel.history:
                 changes.append((when, ident, 1 if in_use else 0))
 
-    # Header.
-    clock_ns = 1000.0 / soc.clock_mhz
+    # Header. Timestamps are cycles; the ps-per-cycle multiplier puts
+    # the waveform on a true wall-clock timebase for any SoC clock.
+    ps_per_cycle = picoseconds_per_cycle(soc.clock_mhz)
     lines = [
         "$date ESP4ML reproduction $end",
-        f"$comment SoC {soc.name}; 1 timestep = 1 cycle "
-        f"({clock_ns:.1f} ns at {soc.clock_mhz} MHz) $end",
-        "$timescale 1 ns $end",
+        f"$comment SoC {soc.name}; 1 cycle = {ps_per_cycle} ps "
+        f"at {soc.clock_mhz} MHz $end",
+        "$timescale 1 ps $end",
         f"$scope module {_sanitize(soc.name)} $end",
     ]
     current_scope = None
@@ -99,13 +138,15 @@ def emit_vcd(soc: SoCInstance, include_links: bool = True,
     lines.append("$enddefinitions $end")
 
     # Value changes, grouped by time; later changes at the same time
-    # override earlier ones per identifier.
+    # override earlier ones per identifier (so the falling edge of one
+    # invocation and the rising edge of a back-to-back successor at the
+    # same cycle collapse to "still busy").
     by_time: Dict[int, Dict[str, int]] = {}
     for when, ident, value in changes:
         by_time.setdefault(when, {})[ident] = value
     for when in sorted(by_time):
-        lines.append(f"#{when}")
+        lines.append(f"#{when * ps_per_cycle}")
         for ident, value in by_time[when].items():
             lines.append(f"{value}{ident}")
-    lines.append(f"#{soc.env.now}")
+    lines.append(f"#{soc.env.now * ps_per_cycle}")
     return "\n".join(lines) + "\n"

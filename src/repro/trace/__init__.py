@@ -1,0 +1,61 @@
+"""Unified cycle-level tracing & profiling for the ESP4ML reproduction.
+
+One :class:`Tracer` attached to the simulation environment collects
+spans, instants and counters from every layer — sim kernel, NoC, DMA,
+accelerator wrappers, runtime executor, serving layer — and the
+exporters turn the single store into a Chrome/Perfetto trace, a flame
+summary, VCD/Gantt views and a critical-path attribution of any
+latency window.
+"""
+
+from .tracer import (
+    CounterSample,
+    Instant,
+    Span,
+    Tracer,
+    attach_tracer,
+    detach_tracer,
+)
+from .store import DeviceSpan, device_spans, device_spans_from_tracer
+from .export import (
+    ASYNC_CATEGORIES,
+    flame_summary,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .critical_path import (
+    AttributionReport,
+    AttributionSegment,
+    GROUP_PRECEDENCE,
+    analyze_request,
+    analyze_run,
+    analyze_span,
+    attribute_interval,
+    group_of,
+)
+
+__all__ = [
+    "ASYNC_CATEGORIES",
+    "AttributionReport",
+    "AttributionSegment",
+    "CounterSample",
+    "DeviceSpan",
+    "GROUP_PRECEDENCE",
+    "Instant",
+    "Span",
+    "Tracer",
+    "analyze_request",
+    "analyze_run",
+    "analyze_span",
+    "attach_tracer",
+    "attribute_interval",
+    "detach_tracer",
+    "device_spans",
+    "device_spans_from_tracer",
+    "flame_summary",
+    "group_of",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

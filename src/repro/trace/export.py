@@ -1,0 +1,201 @@
+"""Trace exporters: Chrome trace-event JSON and a text flame summary.
+
+The Chrome trace-event format (the JSON consumed by Perfetto and
+``chrome://tracing``) maps naturally onto the tracer's records:
+
+- ``pid`` = tile / subsystem, ``tid`` = engine inside it — so Perfetto
+  renders one process group per tile with one row per engine, which is
+  exactly how a hardware engineer reads the SoC;
+- closed spans export as complete events (``ph: "X"``); categories
+  whose spans legitimately overlap on one track (NoC packets, kernel
+  processes, serve requests) export as async begin/end pairs
+  (``ph: "b"``/``"e"``) so the viewer nests them correctly;
+- instants and counters export as ``ph: "i"`` / ``ph: "C"``.
+
+Timestamps: the trace-event ``ts`` unit is microseconds; cycles
+convert with the SoC clock (``ts = cycle / clock_mhz``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from .tracer import Tracer
+
+#: Categories whose spans may overlap on one (pid, tid) track and are
+#: therefore exported as async events instead of complete events.
+ASYNC_CATEGORIES = ("noc.packet", "sim.process", "serve.request",
+                    "runtime.run")
+
+
+def _is_async(cat: str) -> bool:
+    return any(cat == a or cat.startswith(a + ".")
+               for a in ASYNC_CATEGORIES)
+
+
+def to_chrome_trace(tracer: Tracer, clock_mhz: float = 1.0,
+                    include_counters: bool = True) -> Dict[str, Any]:
+    """Render the tracer's records as a Chrome trace-event object."""
+    if clock_mhz <= 0:
+        raise ValueError(f"clock_mhz must be > 0, got {clock_mhz}")
+    scale = 1.0 / clock_mhz   # cycles -> microseconds
+    events: List[Dict[str, Any]] = []
+
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+
+    def pid_of(label: str) -> int:
+        if label not in pids:
+            pids[label] = len(pids) + 1
+            events.append({"ph": "M", "name": "process_name",
+                           "pid": pids[label], "tid": 0,
+                           "args": {"name": label}})
+        return pids[label]
+
+    def tid_of(pid_label: str, tid_label: str) -> int:
+        key = (pid_label, tid_label)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": pid_of(pid_label), "tid": tids[key],
+                           "args": {"name": tid_label}})
+        return tids[key]
+
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.sid)):
+        pid = pid_of(span.pid)
+        tid = tid_of(span.pid, span.tid)
+        base = {"name": span.name, "cat": span.cat, "pid": pid,
+                "tid": tid, "args": dict(span.args)}
+        if _is_async(span.cat):
+            events.append({**base, "ph": "b", "id": span.sid,
+                           "ts": span.start * scale})
+            events.append({**base, "ph": "e", "id": span.sid,
+                           "ts": span.end * scale})
+        else:
+            events.append({**base, "ph": "X", "ts": span.start * scale,
+                           "dur": (span.end - span.start) * scale})
+    for instant in tracer.instants:
+        events.append({"ph": "i", "s": "t", "name": instant.name,
+                       "cat": instant.cat,
+                       "pid": pid_of(instant.pid),
+                       "tid": tid_of(instant.pid, instant.tid),
+                       "ts": instant.ts * scale,
+                       "args": dict(instant.args)})
+    if include_counters:
+        for sample in tracer.counters:
+            events.append({"ph": "C", "name": sample.name,
+                           "pid": pid_of(sample.pid), "tid": 0,
+                           "ts": sample.ts * scale,
+                           "args": dict(sample.values)})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock_mhz": clock_mhz,
+            "spans": len(tracer.spans),
+            "open_spans": len(tracer.open_spans),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       clock_mhz: float = 1.0) -> Dict[str, Any]:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the obj."""
+    trace = to_chrome_trace(tracer, clock_mhz=clock_mhz)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+def validate_chrome_trace(trace: Dict[str, Any],
+                          tolerance: float = 1e-6) -> List[str]:
+    """Schema/consistency check of a trace-event object.
+
+    Returns a list of problems (empty = valid): required keys present,
+    timestamps non-negative, durations non-negative, async begin/end
+    balanced, and complete events on each (pid, tid) track either
+    disjoint or properly nested — the invariant Perfetto's renderer
+    assumes. ``tolerance`` (µs; default one picosecond) absorbs the
+    float rounding of the cycle→µs conversion at shared boundaries.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    per_track: Dict[Tuple[int, int], List[Tuple[float, float]]] = \
+        defaultdict(list)
+    async_open: Dict[Tuple[str, Any], int] = defaultdict(int)
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph is None or "name" not in event or "pid" not in event:
+            problems.append(f"event {index}: missing ph/name/pid")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: bad dur {dur!r}")
+                continue
+            per_track[(event["pid"], event.get("tid", 0))].append(
+                (float(ts), float(ts) + float(dur)))
+        elif ph == "b":
+            async_open[(event["name"], event.get("id"))] += 1
+        elif ph == "e":
+            key = (event["name"], event.get("id"))
+            if async_open.get(key, 0) < 1:
+                problems.append(f"event {index}: async end without begin")
+            else:
+                async_open[key] -= 1
+    for key, count in async_open.items():
+        if count:
+            problems.append(f"async event {key[0]!r} left {count} open")
+    for track, intervals in per_track.items():
+        stack: List[float] = []
+        # Containers sort before their contents at equal starts.
+        for start, end in sorted(intervals, key=lambda iv: (iv[0], -iv[1])):
+            while stack and stack[-1] <= start + tolerance:
+                stack.pop()
+            if stack and end > stack[-1] + tolerance:
+                problems.append(
+                    f"track pid={track[0]} tid={track[1]}: span "
+                    f"[{start}, {end}) straddles an enclosing span "
+                    f"ending at {stack[-1]}")
+                continue
+            stack.append(end)
+    return problems
+
+
+def flame_summary(tracer: Tracer, top: int = 20,
+                  clock_mhz: Optional[float] = None) -> str:
+    """Aggregate busy cycles per (track, category), hottest first.
+
+    The text cousin of a flame graph: one line per (pid, tid, cat)
+    with total cycles, span count and mean span length — the quickest
+    answer to "where did the cycles go?" without leaving the terminal.
+    """
+    totals: Dict[Tuple[str, str, str], List[int]] = defaultdict(
+        lambda: [0, 0])
+    for span in tracer.spans:
+        entry = totals[(span.pid, span.tid, span.cat)]
+        entry[0] += span.end - span.start
+        entry[1] += 1
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:top]
+    unit = "cycles" if clock_mhz is None else "us"
+    scale = 1.0 if clock_mhz is None else 1.0 / clock_mhz
+    lines = [f"== flame summary: top {len(ranked)} tracks by busy "
+             f"{unit} ==",
+             f"{'track':<44}{'category':<18}{'busy':>12}{'spans':>8}"
+             f"{'mean':>10}"]
+    for (pid, tid, cat), (busy, count) in ranked:
+        mean = busy / count if count else 0.0
+        lines.append(f"{pid + ' / ' + tid:<44}{cat:<18}"
+                     f"{busy * scale:>12,.1f}{count:>8}"
+                     f"{mean * scale:>10.1f}")
+    return "\n".join(lines)

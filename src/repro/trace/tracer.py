@@ -1,0 +1,224 @@
+"""The cycle-level event tracer: spans, instants and counters.
+
+ESP instruments its SoCs with hardware performance monitors and the
+companion papers read them out to explain *where cycles go* (per-
+accelerator busy time, NoC-plane traffic, ioctl overhead). This module
+is the simulated equivalent turned into one coherent subsystem: a
+single :class:`Tracer` attached to the simulation
+:class:`~repro.sim.Environment` that every layer of the stack reports
+into — kernel process lifetimes, NoC packet and link traversals, DMA
+transactions, accelerator LOAD/COMPUTE/STORE phases, runtime executor
+phases (ioctl, register programming, IRQ wait) and serve-layer
+queue/batch/grant events.
+
+Design rules:
+
+- **Zero timing impact.** Recording never yields, never schedules an
+  event and never advances the clock, so a traced run is cycle-for-
+  cycle identical to an untraced one; tracing changes what you *see*,
+  not what happens.
+- **Near-zero overhead when disabled.** Instrumentation sites guard
+  with ``env.tracer is None`` — one attribute load and a pointer
+  compare, mirroring the fault-injection hooks of the faults
+  subsystem.
+- **One store, many views.** The Chrome-trace exporter, the flame
+  summary, the VCD/Gantt renderers and the critical-path analyzer all
+  read the same span lists recorded here.
+
+Tracks: every record carries a ``(pid, tid)`` pair — process and
+thread labels in Chrome-trace terms. By convention ``pid`` names the
+tile (or subsystem: ``cpu``, ``noc``, ``serve``, ``sim``) and ``tid``
+names the engine inside it (``wrapper``, ``dma.load``, a plane name,
+a driver thread).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class Span:
+    """One named interval on one track (begin/end pair, in cycles)."""
+
+    sid: int
+    pid: str
+    tid: str
+    name: str
+    cat: str
+    start: int
+    end: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event (an IRQ edge, a queue admit, a grant)."""
+
+    pid: str
+    tid: str
+    name: str
+    cat: str
+    ts: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a named counter series (queue depth, occupancy)."""
+
+    pid: str
+    name: str
+    ts: int
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+class Tracer:
+    """The global span/instant/counter store of one simulation.
+
+    Attach with :func:`attach_tracer`; instrumentation sites across the
+    stack then report into it. All timestamps are simulation cycles;
+    exporters convert to wall time with the SoC clock.
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.counters: List[CounterSample] = []
+        self._open: Dict[int, Span] = {}
+        self._sids = itertools.count()
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, pid: str, tid: str, name: str, cat: str,
+              **args: Any) -> int:
+        """Open a span at the current cycle; returns its id."""
+        sid = next(self._sids)
+        self._open[sid] = Span(sid=sid, pid=pid, tid=tid, name=name,
+                               cat=cat, start=self.env.now, args=args)
+        return sid
+
+    def end(self, sid: int, **args: Any) -> Span:
+        """Close the span at the current cycle (extra args merge in)."""
+        span = self._open.pop(sid, None)
+        if span is None:
+            raise KeyError(f"no open span with id {sid}")
+        span.end = self.env.now
+        if args:
+            span.args.update(args)
+        self.spans.append(span)
+        return span
+
+    def complete(self, pid: str, tid: str, name: str, cat: str,
+                 start: int, end: int, **args: Any) -> Span:
+        """Record an already-finished interval in one call."""
+        if end < start:
+            raise ValueError(f"span ends at {end} before start {start}")
+        span = Span(sid=next(self._sids), pid=pid, tid=tid, name=name,
+                    cat=cat, start=start, end=end, args=args)
+        self.spans.append(span)
+        return span
+
+    def instant(self, pid: str, tid: str, name: str, cat: str,
+                **args: Any) -> None:
+        self.instants.append(Instant(pid=pid, tid=tid, name=name,
+                                     cat=cat, ts=self.env.now, args=args))
+
+    def counter(self, pid: str, name: str, **values: float) -> None:
+        self.counters.append(CounterSample(pid=pid, name=name,
+                                           ts=self.env.now,
+                                           values=values))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def open_spans(self) -> List[Span]:
+        return list(self._open.values())
+
+    def all_spans(self, cat: Optional[str] = None,
+                  closed_only: bool = True) -> List[Span]:
+        """Spans in start order, optionally filtered by category prefix.
+
+        A ``cat`` of ``"dma"`` matches ``dma.load``, ``dma.store``, ...
+        (exact segment-prefix match, so ``"acc"`` does not match
+        ``"accel"``).
+        """
+        spans: Iterable[Span] = self.spans
+        if not closed_only:
+            spans = list(spans) + self.open_spans
+        if cat is not None:
+            spans = [s for s in spans
+                     if s.cat == cat or s.cat.startswith(cat + ".")]
+        return sorted(spans, key=lambda s: (s.start, s.sid))
+
+    def spans_between(self, t0: int, t1: int) -> List[Span]:
+        """Closed spans overlapping the window ``[t0, t1)``."""
+        return [s for s in self.spans
+                if s.end is not None and s.end > t0 and s.start < t1]
+
+    def find_span(self, cat: str, name: Optional[str] = None,
+                  index: int = 0) -> Span:
+        """The index-th closed span of a category (and optional name)."""
+        matches = [s for s in self.all_spans(cat=cat)
+                   if name is None or s.name == name]
+        if not matches:
+            raise KeyError(f"no span with cat={cat!r}"
+                           + (f" name={name!r}" if name else ""))
+        return matches[index]
+
+    def clear(self) -> None:
+        """Drop every record (the store, not the attachment)."""
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+        self._open.clear()
+
+    def __repr__(self) -> str:
+        return (f"<Tracer {len(self.spans)} spans "
+                f"({len(self._open)} open), {len(self.instants)} "
+                f"instants, {len(self.counters)} counter samples>")
+
+
+def _environment_of(target):
+    env = getattr(target, "env", None)
+    return env if env is not None else target
+
+
+def attach_tracer(target) -> Tracer:
+    """Create a :class:`Tracer` and attach it to the environment.
+
+    ``target`` may be an :class:`~repro.sim.Environment` or anything
+    carrying one as ``.env`` (a :class:`~repro.soc.SoCInstance`, a
+    runtime, a server). Idempotent: an already-attached tracer is
+    returned unchanged.
+    """
+    env = _environment_of(target)
+    if getattr(env, "tracer", None) is None:
+        env.tracer = Tracer(env)
+    return env.tracer
+
+
+def detach_tracer(target) -> Optional[Tracer]:
+    """Detach (and return) the environment's tracer, if any.
+
+    After detaching, every instrumentation site is back to its
+    disabled-cost path; the returned tracer still holds its records
+    for export.
+    """
+    env = _environment_of(target)
+    tracer = getattr(env, "tracer", None)
+    env.tracer = None
+    return tracer

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.eval import collect_spans, render_gantt, utilization_by_device
+from repro.eval import (GANTT_BUSY, GANTT_OVERLAP, collect_spans,
+                        render_gantt, utilization_by_device)
 from repro.runtime import chain
 from tests.conftest import make_runtime, make_spec
 
@@ -95,3 +96,38 @@ class TestGantt:
         text = render_gantt(soc, width=40)
         bar_lines = [l for l in text.splitlines() if "|" in l]
         assert all(len(l.split("|")[1]) == 40 for l in bar_lines)
+
+    def test_overlap_glyph_distinct_from_busy(self):
+        # The overlap marker must be distinguishable: the old renderer
+        # collapsed overlapping invocations into the same "#" glyph.
+        assert GANTT_OVERLAP != GANTT_BUSY
+
+    def test_concurrent_invocations_render_overlap_glyph(self):
+        from repro.soc.wrapper import InvocationResult
+        from tests.conftest import make_soc
+
+        soc = make_soc([("x0", make_spec())])
+        tile = soc.accelerators["x0"]
+        # Two invocations of one device covering the same cycles (e.g.
+        # overlapping per-frame bars in a narrow chart column).
+        tile.invocations.append(InvocationResult(
+            frames=1, start_cycle=0, end_cycle=1000))
+        tile.invocations.append(InvocationResult(
+            frames=1, start_cycle=0, end_cycle=1000))
+        text = render_gantt(soc, width=20)
+        row = next(l for l in text.splitlines() if l.startswith("x0"))
+        assert GANTT_OVERLAP in row
+        assert GANTT_BUSY not in row.split("|")[1]
+
+    def test_single_coverage_has_no_overlap_glyph(self):
+        from repro.soc.wrapper import InvocationResult
+        from tests.conftest import make_soc
+
+        soc = make_soc([("x0", make_spec())])
+        tile = soc.accelerators["x0"]
+        tile.invocations.append(InvocationResult(
+            frames=1, start_cycle=0, end_cycle=1000))
+        text = render_gantt(soc, width=20)
+        row = next(l for l in text.splitlines() if l.startswith("x0"))
+        assert GANTT_BUSY in row
+        assert GANTT_OVERLAP not in row

@@ -171,6 +171,40 @@ class TestResource:
         assert env.now == 20
         assert res.utilization() == pytest.approx(0.5)
 
+    def test_utilization_clamped_to_window(self):
+        # Busy time accumulates over the resource's lifetime; a caller
+        # asking about a shorter trailing window must get at most 1.0,
+        # never busy/window > 1.
+        env = Environment()
+        res = Resource(env)
+
+        def worker(env):
+            yield res.acquire()
+            yield env.timeout(100)
+            res.release()
+
+        env.process(worker(env))
+        run(env)
+        assert res.utilization() == pytest.approx(1.0)
+        assert res.utilization(elapsed=10) == 1.0
+        assert res.utilization(elapsed=200) == pytest.approx(0.5)
+        assert res.utilization(elapsed=0) == 0.0
+
+    def test_utilization_clamps_while_held(self):
+        env = Environment()
+        res = Resource(env)
+
+        def worker(env):
+            yield res.acquire()
+            yield env.timeout(50)
+
+        env.process(worker(env))
+        run(env)
+        # Still held at t=50: in-flight busy time counts, and a short
+        # window still caps at 1.0.
+        assert res.utilization() == pytest.approx(1.0)
+        assert res.utilization(elapsed=5) == 1.0
+
     def test_waiters_fifo(self):
         env = Environment()
         res = Resource(env)

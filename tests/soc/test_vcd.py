@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.runtime import EspRuntime, chain
-from repro.soc import SoCConfig, build_soc, emit_vcd
+from repro.soc import (SoCConfig, build_soc, emit_vcd,
+                       parse_vcd_timescale, picoseconds_per_cycle)
 from repro.soc.vcd import _identifier
 from tests.conftest import make_spec
 
@@ -42,8 +43,33 @@ class TestEmitVcd:
         vcd = emit_vcd(traced_run())
         assert vcd.startswith("$date")
         assert "$enddefinitions $end" in vcd
-        assert "$timescale 1 ns $end" in vcd
         assert "a0_busy" in vcd and "b0_busy" in vcd
+
+    def test_timescale_round_trips_from_clock(self):
+        # The declared timescale must be derived from the SoC clock,
+        # not hardcoded: timestamps are cycles scaled to picoseconds.
+        soc = traced_run()
+        magnitude, unit = parse_vcd_timescale(emit_vcd(soc))
+        assert (magnitude, unit) == (1, "ps")
+        # Default clock is 78 MHz -> a non-integer period in ns; the
+        # ps multiplier carries it (rounded to the nearest ps).
+        assert picoseconds_per_cycle(soc.clock_mhz) == round(
+            1e6 / soc.clock_mhz)
+
+    def test_timestamps_scaled_by_cycle_period(self):
+        soc = traced_run()
+        ps = picoseconds_per_cycle(soc.clock_mhz)
+        stamps = [int(l[1:]) for l in emit_vcd(soc).splitlines()
+                  if l.startswith("#")]
+        assert stamps   # and every stamp is a whole number of cycles
+        assert all(stamp % ps == 0 for stamp in stamps)
+        assert stamps[-1] == soc.env.now * ps
+
+    def test_parse_timescale_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_vcd_timescale("$date x $end\n$enddefinitions $end\n")
+        with pytest.raises(ValueError):
+            parse_vcd_timescale("$timescale banana $end\n")
 
     def test_link_signals_present_when_traced(self):
         vcd = emit_vcd(traced_run(trace_links=True))
@@ -79,3 +105,54 @@ class TestEmitVcd:
         link_vars = [l for l in vcd.splitlines()
                      if "$var" in l and "__to__" in l]
         assert len(link_vars) <= 2
+
+
+class TestBackToBackInvocations:
+    """Two invocations sharing a boundary cycle (streaming restart)."""
+
+    def _soc_with_boundary(self):
+        from repro.soc.wrapper import InvocationResult
+
+        config = SoCConfig(cols=3, rows=1, name="b2b")
+        config.add_cpu((0, 0))
+        config.add_memory((1, 0))
+        config.add_accelerator((2, 0), "a0",
+                               make_spec(input_words=8, output_words=8))
+        soc = build_soc(config)
+        tile = soc.accelerators["a0"]
+        # Invocation 2 starts on the exact cycle invocation 1 ends.
+        tile.invocations.append(InvocationResult(
+            frames=1, start_cycle=100, end_cycle=200))
+        tile.invocations.append(InvocationResult(
+            frames=1, start_cycle=200, end_cycle=300))
+        soc.env._now = 300
+        return soc
+
+    def test_vcd_boundary_cycle_stays_busy(self):
+        # At the shared cycle the falling edge of invocation 1 and the
+        # rising edge of invocation 2 collapse: later changes at the
+        # same timestamp override earlier ones, so the wire stays 1.
+        soc = self._soc_with_boundary()
+        vcd = emit_vcd(soc, include_links=False)
+        ident = next(line.split()[3] for line in vcd.splitlines()
+                     if line.endswith("a0_busy $end"))
+        ps = picoseconds_per_cycle(soc.clock_mhz)
+        lines = vcd.splitlines()
+        at_boundary = lines[lines.index(f"#{200 * ps}") + 1]
+        assert at_boundary == f"1{ident}"
+        # The run still ends with the wire low.
+        at_end = lines[lines.index(f"#{300 * ps}") + 1]
+        assert at_end == f"0{ident}"
+
+    def test_utilization_clamped_to_window(self):
+        from repro.eval import collect_spans, utilization_by_device
+
+        soc = self._soc_with_boundary()
+        assert [(s.start, s.end) for s in collect_spans(soc)] == \
+            [(100, 200), (200, 300)]
+        # A window shorter than the device's lifetime busy total must
+        # clamp at 1.0, never exceed it.
+        util = utilization_by_device(soc, window=(150, 250))
+        assert util["a0"] == 1.0
+        full = utilization_by_device(soc, window=(0, 400))
+        assert full["a0"] == pytest.approx(200 / 400)

@@ -1,0 +1,191 @@
+"""Tests for the Chrome trace-event exporter, the schema validator and
+the flame summary."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    ASYNC_CATEGORIES,
+    Tracer,
+    attach_tracer,
+    flame_summary,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from tests.trace.test_tracer import FakeClock, p2p_run
+
+
+def synthetic_tracer():
+    env = FakeClock()
+    tracer = Tracer(env)
+    tracer.complete("a0", "wrapper", "load f0", "acc.load", 0, 10, n=64)
+    tracer.complete("a0", "wrapper", "compute f0", "acc.compute", 10, 40)
+    tracer.complete("a0", "socket", "toy", "acc.invocation", 0, 50,
+                    device="a0")
+    tracer.complete("noc", "dma_req", "DMA_REQ", "noc.packet", 2, 9)
+    tracer.complete("noc", "dma_req", "DMA_REQ", "noc.packet", 5, 12)
+    env.now = 7
+    tracer.instant("a0", "socket", "irq", "acc.irq", status=1)
+    tracer.counter("serve", "queue_depth", depth=2)
+    return tracer
+
+
+class TestToChromeTrace:
+    def test_metadata_names_every_track(self):
+        trace = to_chrome_trace(synthetic_tracer())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert process_names == {"a0", "noc", "serve"}
+        assert {"wrapper", "socket", "dma_req"} <= thread_names
+
+    def test_overlapping_categories_export_as_async_pairs(self):
+        trace = to_chrome_trace(synthetic_tracer())
+        events = trace["traceEvents"]
+        # The two overlapping noc.packet spans must not be X events on
+        # one track (Perfetto would mis-nest them).
+        assert "noc.packet" in ASYNC_CATEGORIES
+        noc = [e for e in events if e.get("cat") == "noc.packet"]
+        assert {e["ph"] for e in noc} == {"b", "e"}
+        begins = sum(1 for e in noc if e["ph"] == "b")
+        ends = sum(1 for e in noc if e["ph"] == "e")
+        assert begins == ends == 2
+
+    def test_plain_spans_export_as_complete_events(self):
+        trace = to_chrome_trace(synthetic_tracer())
+        load = next(e for e in trace["traceEvents"]
+                    if e.get("cat") == "acc.load")
+        assert load["ph"] == "X"
+        assert (load["ts"], load["dur"]) == (0, 10)
+        assert load["args"] == {"n": 64}
+
+    def test_clock_scales_cycles_to_microseconds(self):
+        trace = to_chrome_trace(synthetic_tracer(), clock_mhz=100.0)
+        load = next(e for e in trace["traceEvents"]
+                    if e.get("cat") == "acc.load")
+        assert load["dur"] == pytest.approx(0.1)   # 10 cycles @ 100 MHz
+        assert trace["otherData"]["clock_mhz"] == 100.0
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(synthetic_tracer(), clock_mhz=0)
+
+    def test_instants_and_counters_exported(self):
+        trace = to_chrome_trace(synthetic_tracer())
+        phs = {e["ph"] for e in trace["traceEvents"]}
+        assert "i" in phs and "C" in phs
+        counter = next(e for e in trace["traceEvents"] if e["ph"] == "C")
+        assert counter["args"] == {"depth": 2}
+
+    def test_counters_can_be_dropped(self):
+        trace = to_chrome_trace(synthetic_tracer(),
+                                include_counters=False)
+        assert not any(e["ph"] == "C" for e in trace["traceEvents"])
+
+    def test_open_spans_not_exported_but_counted(self):
+        tracer = synthetic_tracer()
+        tracer.begin("a0", "wrapper", "dangling", "acc.load")
+        trace = to_chrome_trace(tracer)
+        assert trace["otherData"]["open_spans"] == 1
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "dangling" not in names
+
+
+class TestValidator:
+    def test_synthetic_trace_is_valid(self):
+        assert validate_chrome_trace(to_chrome_trace(
+            synthetic_tracer())) == []
+
+    def test_traced_p2p_run_is_valid(self):
+        _, _, tracer = p2p_run(tracing=True)
+        trace = to_chrome_trace(tracer, clock_mhz=78.0)
+        assert validate_chrome_trace(trace) == []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == \
+            ["traceEvents missing or not a list"]
+
+    def test_rejects_missing_required_keys(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "ts": 0}]})
+        assert any("missing" in p for p in problems)
+
+    def test_rejects_negative_timestamps_and_durations(self):
+        bad_ts = {"traceEvents": [
+            {"ph": "i", "name": "x", "pid": 1, "ts": -1}]}
+        assert any("bad ts" in p
+                   for p in validate_chrome_trace(bad_ts))
+        bad_dur = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 1, "ts": 0, "dur": -5}]}
+        assert any("bad dur" in p
+                   for p in validate_chrome_trace(bad_dur))
+
+    def test_rejects_unbalanced_async(self):
+        dangling_end = {"traceEvents": [
+            {"ph": "e", "name": "p", "pid": 1, "ts": 1, "id": 7}]}
+        assert any("end without begin" in p
+                   for p in validate_chrome_trace(dangling_end))
+        dangling_begin = {"traceEvents": [
+            {"ph": "b", "name": "p", "pid": 1, "ts": 1, "id": 7}]}
+        assert any("left 1 open" in p
+                   for p in validate_chrome_trace(dangling_begin))
+
+    def test_rejects_straddling_spans_on_one_track(self):
+        straddle = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1,
+             "ts": 0, "dur": 10},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1,
+             "ts": 5, "dur": 10},
+        ]}
+        assert any("straddles" in p
+                   for p in validate_chrome_trace(straddle))
+
+    def test_accepts_nested_and_disjoint_spans(self):
+        fine = {"traceEvents": [
+            {"ph": "X", "name": "outer", "pid": 1, "tid": 1,
+             "ts": 0, "dur": 10},
+            {"ph": "X", "name": "inner", "pid": 1, "tid": 1,
+             "ts": 2, "dur": 4},
+            {"ph": "X", "name": "later", "pid": 1, "tid": 1,
+             "ts": 10, "dur": 3},
+        ]}
+        assert validate_chrome_trace(fine) == []
+
+
+class TestRoundTrip:
+    def test_write_chrome_trace_serializes_valid_json(self, tmp_path):
+        _, _, tracer = p2p_run(tracing=True)
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(tracer, str(path), clock_mhz=78.0)
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["otherData"]["spans"] == len(tracer.spans)
+
+
+class TestFlameSummary:
+    def test_hottest_track_first(self):
+        tracer = Tracer(FakeClock())
+        tracer.complete("a0", "wrapper", "c", "acc.compute", 0, 900)
+        tracer.complete("b0", "wrapper", "c", "acc.compute", 0, 100)
+        text = flame_summary(tracer)
+        assert text.index("a0 / wrapper") < text.index("b0 / wrapper")
+        assert "900" in text
+
+    def test_top_limits_rows(self):
+        tracer = Tracer(FakeClock())
+        for i in range(30):
+            tracer.complete(f"t{i}", "e", "x", "cat", 0, 30 - i)
+        text = flame_summary(tracer, top=5)
+        assert "top 5 tracks" in text
+        assert text.count("\n") == 6   # header + column row + 5 entries
+
+    def test_clock_converts_to_microseconds(self):
+        tracer = Tracer(FakeClock())
+        tracer.complete("a0", "wrapper", "c", "acc.compute", 0, 780)
+        text = flame_summary(tracer, clock_mhz=78.0)
+        assert "us" in text and "10.0" in text

@@ -1,0 +1,203 @@
+"""Tests for the core tracer: recording, queries, attachment, and the
+zero-timing-impact guarantee across instrumented runs."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import chain
+from repro.sim import Environment
+from repro.trace import (
+    Tracer,
+    attach_tracer,
+    detach_tracer,
+    device_spans,
+    device_spans_from_tracer,
+)
+from tests.conftest import make_runtime, make_spec
+
+
+class FakeClock:
+    """Minimal environment stand-in: the tracer only reads ``now``."""
+
+    def __init__(self):
+        self.now = 0
+        self.tracer = None
+
+
+class TestRecording:
+    def test_begin_end_records_span(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        sid = tracer.begin("tile", "wrapper", "load", "acc.load", n=4)
+        env.now = 25
+        span = tracer.end(sid, ok=True)
+        assert (span.start, span.end, span.cycles) == (0, 25, 25)
+        assert span.args == {"n": 4, "ok": True}
+        assert tracer.spans == [span]
+        assert tracer.open_spans == []
+
+    def test_end_unknown_sid_raises(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(KeyError):
+            tracer.end(99)
+
+    def test_complete_records_closed_interval(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.complete("t", "e", "x", "cat", 10, 30)
+        assert span.closed and span.cycles == 20
+
+    def test_complete_rejects_backwards_interval(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(ValueError):
+            tracer.complete("t", "e", "x", "cat", 30, 10)
+
+    def test_open_span_has_no_cycles(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        sid = tracer.begin("t", "e", "x", "cat")
+        (open_span,) = tracer.open_spans
+        assert not open_span.closed
+        with pytest.raises(ValueError):
+            open_span.cycles
+        assert tracer._open[sid] is open_span
+
+    def test_instants_and_counters(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        env.now = 5
+        tracer.instant("serve", "tenant:a", "admit", "serve.submit")
+        tracer.counter("serve", "queue_depth", depth=3)
+        assert tracer.instants[0].ts == 5
+        assert tracer.counters[0].values == {"depth": 3}
+
+    def test_clear_drops_everything(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        tracer.begin("t", "e", "x", "cat")
+        tracer.complete("t", "e", "y", "cat", 0, 1)
+        tracer.instant("t", "e", "i", "cat")
+        tracer.counter("t", "c", v=1)
+        tracer.clear()
+        assert not tracer.spans and not tracer.open_spans
+        assert not tracer.instants and not tracer.counters
+
+
+class TestQueries:
+    def _tracer(self):
+        tracer = Tracer(FakeClock())
+        tracer.complete("t", "e", "a", "dma.load", 0, 10)
+        tracer.complete("t", "e", "b", "dma.store", 5, 15)
+        tracer.complete("t", "e", "c", "dmax", 20, 30)
+        tracer.complete("t", "e", "d", "acc.compute", 12, 18)
+        return tracer
+
+    def test_cat_filter_is_segment_prefix(self):
+        tracer = self._tracer()
+        cats = {s.cat for s in tracer.all_spans(cat="dma")}
+        assert cats == {"dma.load", "dma.store"}   # not "dmax"
+        assert [s.cat for s in tracer.all_spans(cat="dmax")] == ["dmax"]
+
+    def test_all_spans_start_ordered(self):
+        starts = [s.start for s in self._tracer().all_spans()]
+        assert starts == sorted(starts)
+
+    def test_spans_between_half_open_window(self):
+        tracer = self._tracer()
+        names = {s.name for s in tracer.spans_between(10, 20)}
+        # [0,10) ends exactly at the window start: excluded.
+        assert names == {"b", "d"}
+
+    def test_find_span_by_cat_name_index(self):
+        tracer = self._tracer()
+        assert tracer.find_span("dma").name == "a"
+        assert tracer.find_span("dma", index=1).name == "b"
+        assert tracer.find_span("dma", name="b").name == "b"
+        with pytest.raises(KeyError):
+            tracer.find_span("nope")
+
+
+class TestAttachment:
+    def test_attach_sets_env_tracer(self):
+        env = Environment()
+        tracer = attach_tracer(env)
+        assert env.tracer is tracer
+
+    def test_attach_is_idempotent(self):
+        env = Environment()
+        assert attach_tracer(env) is attach_tracer(env)
+
+    def test_attach_through_env_carrier(self):
+        env = Environment()
+
+        class Carrier:
+            pass
+
+        carrier = Carrier()
+        carrier.env = env
+        tracer = attach_tracer(carrier)
+        assert env.tracer is tracer
+
+    def test_detach_returns_tracer_and_disables(self):
+        env = Environment()
+        tracer = attach_tracer(env)
+        assert detach_tracer(env) is tracer
+        assert env.tracer is None
+        assert detach_tracer(env) is None
+
+
+def p2p_run(tracing):
+    specs = [("a0", make_spec(name="a", input_words=8, output_words=8,
+                              latency=120)),
+             ("b0", make_spec(name="b", input_words=8, output_words=8,
+                              latency=60))]
+    rt = make_runtime(specs)
+    tracer = attach_tracer(rt.soc) if tracing else None
+    frames = np.random.default_rng(7).uniform(0, 1, (4, 8))
+    result = rt.esp_run(chain("ab", ["a0", "b0"]), frames, mode="p2p")
+    return rt, result, tracer
+
+
+class TestInstrumentedRun:
+    def test_traced_run_is_cycle_identical_to_untraced(self):
+        # The tentpole invariant: tracing observes, never perturbs.
+        _, untraced, _ = p2p_run(tracing=False)
+        _, traced, _ = p2p_run(tracing=True)
+        assert traced.cycles == untraced.cycles
+        assert traced.ioctl_calls == untraced.ioctl_calls
+        np.testing.assert_array_equal(traced.outputs, untraced.outputs)
+
+    def test_expected_categories_present(self):
+        _, _, tracer = p2p_run(tracing=True)
+        cats = {s.cat for s in tracer.spans}
+        for expected in ("runtime.ioctl", "runtime.config",
+                         "runtime.irq_wait", "runtime.spawn",
+                         "runtime.run", "acc.invocation", "acc.load",
+                         "acc.compute", "acc.store", "noc.packet",
+                         "noc.link", "sim.process", "dma.p2p_load",
+                         "dma.p2p_store", "dma.p2p_serve", "dma.load",
+                         "dma.store"):
+            assert expected in cats, f"missing {expected}"
+
+    def test_untraced_run_records_nothing(self):
+        rt, _, tracer = p2p_run(tracing=False)
+        assert tracer is None and rt.soc.env.tracer is None
+
+    def test_store_unification(self):
+        # Spans reconstructed from the tracer must equal the spans read
+        # from the sockets' invocation records.
+        rt, _, tracer = p2p_run(tracing=True)
+        assert device_spans_from_tracer(tracer) == device_spans(rt.soc)
+
+    def test_invocation_spans_carry_device(self):
+        _, _, tracer = p2p_run(tracing=True)
+        spans = tracer.all_spans(cat="acc.invocation")
+        assert {s.args["device"] for s in spans} == {"a0", "b0"}
+
+    def test_all_spans_closed_after_run(self):
+        _, _, tracer = p2p_run(tracing=True)
+        # Steady-state servers (io/p2p/run loops) are still parked on
+        # their queues, so only spans, not processes, must be closed.
+        open_cats = {s.cat for s in tracer.open_spans}
+        assert "acc.invocation" not in open_cats
+        assert "runtime.ioctl" not in open_cats
+        assert "dma.load" not in open_cats
