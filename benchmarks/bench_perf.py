@@ -1,0 +1,192 @@
+"""Simulator performance baseline: wall-clock speed at pinned cycle counts.
+
+Unlike the other benchmarks, this one does not reproduce a paper
+number — it measures the *simulator itself*: how many kernel events per
+wall-clock second the discrete-event engine dispatches on three
+representative workloads, while asserting that every optimization of
+the hot path stays **cycle-count bit-identical** to the pinned seed
+behaviour (see ``docs/performance.md`` for the performance model and
+why the fast paths cannot change simulated time).
+
+Workloads
+---------
+
+``p2p``
+    The 4nv_4cl Night-Vision pipeline in point-to-point mode, 32 SVHN
+    frames (seed 0) — accelerator-to-accelerator NoC traffic.
+``dma``
+    The same pipeline in memory-backed (``pipe``) mode — DMA-heavy,
+    ~4x the event count of p2p for the same work (every hop goes
+    through a memory tile).
+``serve``
+    The multi-tenant serving trace of ``bench_serve``: three tenants,
+    two requests each, two frames per request, on one shared SoC.
+
+Any cycle drift is a hard failure (exit code 1 / test failure): an
+"optimization" that changes simulated time is a model change, not an
+optimization. Event counts are reported (and pinned too — the current
+fast paths dispatch exactly one ``step()`` per event, same as the
+seed) so throughput is comparable across machines as events/second.
+
+Results land in ``BENCH_perf.json`` at the repository root. The
+recorded reference numbers come from the development machine at the
+time the optimization pass was made; compare ratios, not absolutes.
+
+Run:  pytest benchmarks/bench_perf.py -s
+or:   PYTHONPATH=src python benchmarks/bench_perf.py [--smoke]
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.apps import APP_CONFIGS, fresh_runtime
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_serve import build_server, build_trace  # noqa: E402
+
+#: Pinned simulated-cycle counts per workload. These are the seed
+#: values: the optimized kernel must land on them exactly.
+SEED_CYCLES = {"p2p": 77460, "dma": 90139, "serve": 65324}
+#: The same pins for the trimmed CI smoke variant.
+SMOKE_CYCLES = {"p2p": 24270, "dma": 28073, "serve": 17066}
+#: Kernel events dispatched per workload (one ``step()`` each).
+SEED_EVENTS = {"p2p": 2762, "dma": 10274, "serve": 2015}
+SMOKE_EVENTS = {"p2p": 1478, "dma": 2618, "serve": 764}
+
+#: Frames through the 4nv_4cl pipeline (full / smoke).
+PIPE_FRAMES = 32
+SMOKE_PIPE_FRAMES = 8
+
+#: events/second of the *unoptimized* seed on the development machine
+#: (best of 7) — informational, for the speedup column only.
+REFERENCE_EVENTS_PER_SEC = {"p2p": 35_593, "dma": 99_651, "serve": 54_459}
+
+#: Timing repetitions; the minimum is reported (least-noise estimator
+#: for a deterministic computation).
+ROUNDS = 5
+
+
+def run_pipeline(mode, n_frames):
+    """One 4nv_4cl run; returns (wall seconds, cycles, events)."""
+    config = APP_CONFIGS["4nv_4cl"]
+    frames, _ = config.make_inputs(n_frames, seed=0)
+    runtime = fresh_runtime(config)
+    dataflow = config.build_dataflow()
+    start = time.perf_counter()
+    runtime.esp_run(dataflow, frames, mode=mode)
+    wall = time.perf_counter() - start
+    env = runtime.soc.env
+    return wall, env.now, env.events_processed
+
+
+def run_serve(n_requests, frames_per_request):
+    """One serving trace; returns (wall seconds, cycles, events)."""
+    runtime, server = build_server()
+    trace = build_trace(n_requests, frames_per_request)
+    start = time.perf_counter()
+    server.run_trace(trace)
+    wall = time.perf_counter() - start
+    env = runtime.soc.env
+    return wall, env.now, env.events_processed
+
+
+def measure_workload(name, smoke=False):
+    """Best-of-``ROUNDS`` timing of one workload, cycle-checked."""
+    if name == "serve":
+        run = (lambda: run_serve(1, 1)) if smoke else (
+            lambda: run_serve(2, 2))
+    else:
+        mode = "p2p" if name == "p2p" else "pipe"
+        n_frames = SMOKE_PIPE_FRAMES if smoke else PIPE_FRAMES
+        run = lambda: run_pipeline(mode, n_frames)  # noqa: E731
+
+    expected_cycles = (SMOKE_CYCLES if smoke else SEED_CYCLES)[name]
+    expected_events = (SMOKE_EVENTS if smoke else SEED_EVENTS)[name]
+    best = None
+    for _ in range(ROUNDS):
+        wall, cycles, events = run()
+        if cycles != expected_cycles:
+            raise AssertionError(
+                f"cycle drift on workload {name!r}: simulated {cycles} "
+                f"cycles, seed pinned {expected_cycles} — the hot-path "
+                f"fast paths must be bit-identical in simulated time")
+        if events != expected_events:
+            raise AssertionError(
+                f"event-count drift on workload {name!r}: dispatched "
+                f"{events} events, seed pinned {expected_events}")
+        best = wall if best is None else min(best, wall)
+    return {
+        "cycles": expected_cycles,
+        "events": expected_events,
+        "wall_s": round(best, 6),
+        "events_per_sec": round(expected_events / best),
+    }
+
+
+def run_bench(smoke=False):
+    """All three workloads; returns the BENCH_perf.json payload."""
+    results = {}
+    for name in ("p2p", "dma", "serve"):
+        results[name] = measure_workload(name, smoke=smoke)
+        if not smoke:
+            reference = REFERENCE_EVENTS_PER_SEC[name]
+            results[name]["speedup_vs_reference"] = round(
+                results[name]["events_per_sec"] / reference, 2)
+    return {
+        "benchmark": "bench_perf",
+        "variant": "smoke" if smoke else "full",
+        "rounds": ROUNDS,
+        "reference_events_per_sec": REFERENCE_EVENTS_PER_SEC,
+        "workloads": results,
+    }
+
+
+def write_report(payload):
+    out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def print_report(payload):
+    print(f"\nsimulator performance ({payload['variant']}, best of "
+          f"{payload['rounds']} rounds):")
+    for name, row in payload["workloads"].items():
+        speed = row.get("speedup_vs_reference")
+        extra = f"  ({speed:.2f}x vs reference)" if speed else ""
+        print(f"  {name:6s} {row['cycles']:>7d} cycles  "
+              f"{row['events']:>6d} events  {row['wall_s'] * 1e3:8.1f} ms  "
+              f"{row['events_per_sec']:>8d} ev/s{extra}")
+
+
+# -- pytest entry points ----------------------------------------------------
+
+def test_perf_baseline():
+    """Cycle pins hold and the report is written (full workloads)."""
+    payload = run_bench(smoke=False)
+    path = write_report(payload)
+    print_report(payload)
+    print(f"  report: {path}")
+    for row in payload["workloads"].values():
+        assert row["events_per_sec"] > 0
+
+
+# -- standalone -------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed workloads for CI")
+    args = parser.parse_args(argv)
+    payload = run_bench(smoke=args.smoke)
+    path = write_report(payload)
+    print_report(payload)
+    print(f"  report: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

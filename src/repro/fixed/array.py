@@ -9,6 +9,7 @@ NoC flits of the ESP platform.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -23,16 +24,27 @@ def quantize(values: np.ndarray, fmt: FixedFormat) -> np.ndarray:
 
 def fixed_matvec(weights: np.ndarray, x: np.ndarray, bias: np.ndarray,
                  in_fmt: FixedFormat, weight_fmt: FixedFormat,
-                 out_fmt: FixedFormat) -> np.ndarray:
+                 out_fmt: FixedFormat,
+                 params_quantized: bool = False) -> np.ndarray:
     """Dense layer in fixed point: ``out = cast(W @ x + b)``.
 
     Inputs and weights are first snapped to their formats; the
     accumulation happens in full precision (as HLS does with a wide
     accumulator) and only the final result is cast to ``out_fmt``.
+
+    ``params_quantized=True`` asserts that ``weights`` and ``bias`` are
+    already on the ``weight_fmt`` grid and skips re-snapping them — the
+    layer-parameter fast path. Quantization is idempotent (pinned by
+    ``tests/fixed``), so the result is bit-identical; callers own the
+    guarantee that the arrays really are quantized (compiled models
+    quantize parameters once at build time).
     """
     xq = in_fmt.quantize(x)
-    wq = weight_fmt.quantize(weights)
-    bq = weight_fmt.quantize(bias)
+    if params_quantized:
+        wq, bq = weights, bias
+    else:
+        wq = weight_fmt.quantize(weights)
+        bq = weight_fmt.quantize(bias)
     acc = wq @ xq
     # x may be a single vector (n_in,) or a batch (n_in, batch).
     acc += bq[:, None] if acc.ndim == 2 else bq
@@ -44,6 +56,24 @@ def fixed_relu(x: np.ndarray, fmt: FixedFormat) -> np.ndarray:
     return fmt.quantize(np.maximum(x, 0.0))
 
 
+@lru_cache(maxsize=None)
+def _sigmoid_table(fmt: FixedFormat, table_bits: int,
+                   table_range: float) -> np.ndarray:
+    """The quantized sigmoid LUT for one (format, geometry) pair.
+
+    In hardware the table is a ROM synthesized once; rebuilding it per
+    call (1k-entry linspace + exp + quantize) dominated the denoiser's
+    simulation cost. ``FixedFormat`` is a frozen dataclass, so it keys
+    an ``lru_cache`` directly; the cached array is returned read-only
+    so a caller cannot corrupt the shared ROM.
+    """
+    size = 1 << table_bits
+    centers = np.linspace(-table_range, table_range, size, endpoint=False)
+    table = fmt.quantize(1.0 / (1.0 + np.exp(-centers)))
+    table.setflags(write=False)
+    return table
+
+
 def fixed_sigmoid(x: np.ndarray, fmt: FixedFormat,
                   table_bits: int = 10, table_range: float = 8.0) -> np.ndarray:
     """Sigmoid via lookup table, as HLS4ML implements it in hardware.
@@ -53,8 +83,7 @@ def fixed_sigmoid(x: np.ndarray, fmt: FixedFormat,
     the table ends. The output is cast to ``fmt``.
     """
     size = 1 << table_bits
-    centers = np.linspace(-table_range, table_range, size, endpoint=False)
-    table = fmt.quantize(1.0 / (1.0 + np.exp(-centers)))
+    table = _sigmoid_table(fmt, table_bits, table_range)
     idx = np.floor((np.asarray(x) + table_range) / (2 * table_range) * size)
     idx = np.clip(idx, 0, size - 1).astype(np.int64)
     return table[idx]

@@ -56,6 +56,29 @@ class FixedFormat:
             raise ValueError(f"rounding must be one of {VALID_ROUNDING}")
         if self.overflow not in VALID_OVERFLOW:
             raise ValueError(f"overflow must be one of {VALID_OVERFLOW}")
+        # Quantization constants, precomputed once: to_raw/from_raw are
+        # the hottest functions of the whole simulation (every frame of
+        # every accelerator kernel round-trips through them), so the
+        # per-call property arithmetic and the int->ndarray scalar
+        # conversions are hoisted here. object.__setattr__ because the
+        # dataclass is frozen.
+        fraction = self.width - self.integer_bits
+        raw_min = -(1 << (self.width - 1)) if self.signed else 0
+        raw_max = (1 << (self.width - 1 if self.signed else self.width)) - 1
+        object.__setattr__(self, "_scale", 2.0 ** (-fraction))
+        # Exact reciprocal: both are powers of two, so multiplying by
+        # 2**fraction is bit-identical to dividing by 2**-fraction.
+        object.__setattr__(self, "_inv_scale", 2.0 ** fraction)
+        object.__setattr__(self, "_raw_min", raw_min)
+        object.__setattr__(self, "_raw_max", raw_max)
+        try:
+            # ap_ufixed<64,...> has raw_max above int64; those formats
+            # keep the generic np.clip path (as before this cache).
+            object.__setattr__(self, "_raw_min_i64", np.int64(raw_min))
+            object.__setattr__(self, "_raw_max_i64", np.int64(raw_max))
+        except OverflowError:
+            object.__setattr__(self, "_raw_min_i64", None)
+            object.__setattr__(self, "_raw_max_i64", None)
 
     @property
     def fraction_bits(self) -> int:
@@ -64,16 +87,15 @@ class FixedFormat:
     @property
     def scale(self) -> float:
         """Value of one least-significant bit."""
-        return 2.0 ** (-self.fraction_bits)
+        return self._scale
 
     @property
     def raw_min(self) -> int:
-        return -(1 << (self.width - 1)) if self.signed else 0
+        return self._raw_min
 
     @property
     def raw_max(self) -> int:
-        bits = self.width - 1 if self.signed else self.width
-        return (1 << bits) - 1
+        return self._raw_max
 
     @property
     def min_value(self) -> float:
@@ -88,16 +110,39 @@ class FixedFormat:
         return self.scale
 
     def to_raw(self, values: np.ndarray) -> np.ndarray:
-        """Quantize real values to integer raw codes (int64)."""
+        """Quantize real values to integer raw codes (int64).
+
+        Hot path: ``scaled`` is always a fresh array (the multiply
+        allocates), so the rounding and saturation steps work in place,
+        and the bounds are pre-converted ``np.int64`` scalars. The
+        arithmetic is bit-identical to the straightforward
+        divide/floor/clip formulation (multiplying by the exact
+        power-of-two reciprocal only adjusts the float exponent) —
+        pinned by ``tests/sim/test_fastpath_equivalence.py`` against a
+        reference implementation.
+        """
         values = np.asarray(values, dtype=np.float64)
-        scaled = values / self.scale
+        if values.ndim == 0 or self._raw_min_i64 is None:
+            # Scalar (numpy hands back 0-d scalars that reject out=)
+            # or ufixed<64>: the straightforward formulation.
+            scaled = values * self._inv_scale
+            if self.rounding == "nearest":
+                raw = np.floor(scaled + 0.5)
+            else:
+                raw = np.floor(scaled)
+            raw = raw.astype(np.int64)
+            if self.overflow == "saturate":
+                return np.clip(raw, self.raw_min, self.raw_max)
+            span = 1 << self.width
+            return np.mod(raw - self.raw_min, span) + self.raw_min
+        scaled = values * self._inv_scale
         if self.rounding == "nearest":
-            raw = np.floor(scaled + 0.5)
-        else:
-            raw = np.floor(scaled)
-        raw = raw.astype(np.int64)
+            scaled += 0.5
+        np.floor(scaled, out=scaled)
+        raw = scaled.astype(np.int64)
         if self.overflow == "saturate":
-            raw = np.clip(raw, self.raw_min, self.raw_max)
+            np.maximum(raw, self._raw_min_i64, out=raw)
+            np.minimum(raw, self._raw_max_i64, out=raw)
         else:
             span = 1 << self.width
             raw = np.mod(raw - self.raw_min, span) + self.raw_min
@@ -105,7 +150,12 @@ class FixedFormat:
 
     def from_raw(self, raw: np.ndarray) -> np.ndarray:
         """Convert integer raw codes back to real values."""
-        return np.asarray(raw, dtype=np.float64) * self.scale
+        out = np.asarray(raw)
+        if out.ndim == 0:
+            return np.asarray(raw, dtype=np.float64) * self._scale
+        out = out.astype(np.float64)
+        out *= self._scale
+        return out
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
         """Round-trip real values through this format."""

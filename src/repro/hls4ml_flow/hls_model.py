@@ -8,7 +8,7 @@ from its reuse factor, plus a whole-model report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -42,6 +42,12 @@ class HlsDenseLayer:
     precision: FixedFormat
     reuse_factor: int
     schedule: LoopSchedule
+    # Lazy forward-pass cache: (quantized W^T, quantized bias). The
+    # parameters are constants (a ROM in hardware), so they are snapped
+    # to the grid once instead of on every frame; invalidated implicitly
+    # by never mutating `weights`/`bias` after construction.
+    _quantized_params: Optional[tuple] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def n_in(self) -> int:
@@ -61,9 +67,17 @@ class HlsDenseLayer:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Bit-accurate fixed-point forward pass of this layer."""
-        y = fixed_matvec(self.weights.T, np.asarray(x).T, self.bias,
+        params = self._quantized_params
+        if params is None:
+            # Exactly what fixed_matvec would compute per call; cached
+            # because quantization is idempotent and W/b never change.
+            params = (self.precision.quantize(self.weights.T),
+                      self.precision.quantize(self.bias))
+            self._quantized_params = params
+        y = fixed_matvec(params[0], np.asarray(x).T, params[1],
                          in_fmt=self.precision, weight_fmt=self.precision,
-                         out_fmt=self.precision).T
+                         out_fmt=self.precision,
+                         params_quantized=True).T
         if self.activation == "relu":
             return fixed_relu(y, self.precision)
         if self.activation == "sigmoid":

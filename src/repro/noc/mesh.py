@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..sim import Environment, Fifo, Process
 from .link import Link
 from .packet import Coord, MessageKind, Packet
-from .routing import route_hops, validate_coord
+from .routing import route_hops_cached, validate_coord
 
 
 @dataclass(frozen=True)
@@ -96,6 +96,14 @@ class Mesh2D:
                     self._inboxes[((x, y), plane)] = Fifo(
                         env, name=f"inbox{(x, y)}@{plane}")
 
+        # Hop table: (src, dst, plane) -> the Link objects of the XY
+        # route, resolved once (lazily, on first traffic) instead of a
+        # route computation plus per-hop dict lookups on every packet.
+        # Sound because XY routes and the link set are both immutable
+        # for the lifetime of the mesh (see repro.noc.routing).
+        self._route_links: Dict[Tuple[Coord, Coord, str],
+                                Tuple[Link, ...]] = {}
+
         # Aggregate statistics.
         self.packets_delivered = 0
         self.flit_hops = 0
@@ -128,6 +136,21 @@ class Mesh2D:
             raise ValueError(
                 f"unknown plane {plane!r}; options: {sorted(self.planes)}")
 
+    def route_links(self, src: Coord, dst: Coord,
+                    plane: str) -> Tuple[Link, ...]:
+        """The links of the XY route from ``src`` to ``dst`` on ``plane``.
+
+        Memoized per mesh; the tuple is shared, callers must not
+        mutate link state except through the link API.
+        """
+        key = (src, dst, plane)
+        links = self._route_links.get(key)
+        if links is None:
+            links = tuple(self.links[(a, b, plane)]
+                          for a, b in route_hops_cached(src, dst))
+            self._route_links[key] = links
+        return links
+
     # -- transmission -------------------------------------------------------
 
     def send(self, packet: Packet) -> Process:
@@ -149,28 +172,30 @@ class Mesh2D:
             # Local ejection: no links, one router traversal.
             yield self.env.timeout(self.router_latency)
         else:
-            hops = route_hops(packet.src, packet.dst)
-            held: List[Link] = []
+            env = self.env
+            router_latency = self.router_latency
+            route = self.route_links(packet.src, packet.dst, packet.plane)
             held_sids: List[int] = []
-            for hop_src, hop_dst in hops:
-                link = self.links[(hop_src, hop_dst, packet.plane)]
+            for link in route:
                 yield link.channel.acquire()
                 if tracer is not None:
-                    link_sid = tracer.begin(
+                    held_sids.append(tracer.begin(
                         "noc", f"{packet.plane} {link.src}->{link.dst}",
                         packet.kind.name, "noc.link",
-                        flits=packet.size_flits)
-                    held_sids.append(link_sid)
-                held.append(link)
-                yield self.env.timeout(self.router_latency)
+                        flits=packet.size_flits))
+                yield env.timeout(router_latency)
             # Head reached the destination; the body drains behind it.
-            yield self.env.timeout(packet.size_flits)
-            for index, link in enumerate(held):
-                link.record(packet.size_flits)
+            # The hold is a single multi-cycle timeout per link set — the
+            # whole serialized body in one event, never one event per
+            # flit (see docs/performance.md).
+            yield env.timeout(packet.size_flits)
+            size_flits = packet.size_flits
+            for index, link in enumerate(route):
+                link.record(size_flits)
                 link.channel.release()
                 if tracer is not None:
                     tracer.end(held_sids[index])
-            self.flit_hops += packet.size_flits * len(held)
+            self.flit_hops += size_flits * len(route)
         if self.fault_injector is not None:
             # Delivery faults strike after the wormhole released every
             # link, so a lost packet never leaves a stuck channel: the

@@ -5,10 +5,36 @@ decoupled request/response planes this guarantees deadlock freedom.
 The SoC generation flow also emits per-tile routing tables (Sec. IV:
 "generate the appropriate hardware wrappers, including routing
 tables"), reproduced here as explicit next-hop tables.
+
+Invariants
+----------
+
+Every function in this module relies on — and preserves — these
+properties, which the simulation's fast paths in turn depend on:
+
+1. **Determinism.** The route between a ``(src, dst)`` pair is a pure
+   function of the pair: no randomness, no adaptivity, no dependence
+   on network state. This is what makes the route caches sound
+   (``route_hops_cached`` here, the per-mesh link table in
+   :class:`~repro.noc.mesh.Mesh2D`): a cached route is the route,
+   forever.
+2. **Minimality.** The XY path has exactly
+   ``|dx| + |dy| == hop_count(src, dst)`` links.
+3. **Turn-model deadlock freedom.** A packet moves in X to completion
+   before it moves in Y, so no route ever takes a Y→X turn. By the
+   classic turn-model argument this rules out cyclic channel
+   dependencies within a plane; protocol-level deadlock is ruled out
+   separately by the decoupled request/response planes.
+
+Properties 2 and 3 are machine-checked by
+:func:`routes_are_minimal_and_deadlock_free` (exercised over all small
+meshes in ``tests/noc/test_routing.py``); property 1 is pinned by the
+cache-equivalence tests in ``tests/sim/test_fastpath_equivalence.py``.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 Coord = Tuple[int, int]
@@ -22,8 +48,15 @@ def validate_coord(coord: Coord, cols: int, rows: int) -> None:
             f"coordinate {coord} outside {cols}x{rows} mesh")
 
 
-def xy_route(src: Coord, dst: Coord) -> List[Coord]:
-    """Tile sequence from ``src`` to ``dst``: X first, then Y."""
+@lru_cache(maxsize=4096)
+def xy_route_cached(src: Coord, dst: Coord) -> Tuple[Coord, ...]:
+    """The XY tile sequence as an immutable, memoized tuple.
+
+    Routes are pure functions of ``(src, dst)`` (invariant 1 above), so
+    they are computed once per pair. The cache bound comfortably covers
+    every pair of the largest mesh the SoC generator emits (an 8x8 mesh
+    has 4096 ordered pairs); hot pairs stay resident under LRU.
+    """
     path = [src]
     x, y = src
     dst_x, dst_y = dst
@@ -35,13 +68,24 @@ def xy_route(src: Coord, dst: Coord) -> List[Coord]:
     while y != dst_y:
         y += step_y
         path.append((x, y))
-    return path
+    return tuple(path)
+
+
+def xy_route(src: Coord, dst: Coord) -> List[Coord]:
+    """Tile sequence from ``src`` to ``dst``: X first, then Y."""
+    return list(xy_route_cached(src, dst))
+
+
+@lru_cache(maxsize=4096)
+def route_hops_cached(src: Coord, dst: Coord) -> Tuple[Hop, ...]:
+    """The (from, to) link hops of the XY route, memoized (immutable)."""
+    path = xy_route_cached(src, dst)
+    return tuple(zip(path[:-1], path[1:]))
 
 
 def route_hops(src: Coord, dst: Coord) -> List[Hop]:
     """The (from, to) link hops of the XY route."""
-    path = xy_route(src, dst)
-    return list(zip(path[:-1], path[1:]))
+    return list(route_hops_cached(src, dst))
 
 
 def hop_count(src: Coord, dst: Coord) -> int:

@@ -3,6 +3,40 @@
 These model the hardware queues of the ESP platform: the shallow FIFOs
 in the accelerator wrapper, the NoC input/output queues, and exclusive
 resources such as a DMA engine or a NoC link.
+
+Invariants
+----------
+
+The channel primitives uphold these properties, which both the
+platform model and the kernel's scheduling fast paths rely on:
+
+1. **Blocking-put backpressure.** A ``Fifo.put`` on a full queue does
+   not drop, overwrite, or reorder: the putter's event stays pending
+   until space frees, and stalls propagate *upstream only* — this is
+   the hardware backpressure that makes the p2p consumption assumption
+   hold (a producer blocks locally rather than parking a long packet
+   in the NoC).
+2. **FIFO service order.** Items leave a ``Fifo`` in insertion order;
+   blocked putters, getters, resource waiters and semaphore waiters
+   are all served strictly first-come-first-served. Grant order is
+   therefore a deterministic function of request order.
+3. **Immediate-completion fast path.** When an operation can complete
+   without waiting (put with space and no queued putter, get with an
+   item, acquire with a free slot), its event is triggered *at the
+   call site* and dispatched through the kernel's zero-delay ready
+   queue in scheduling order — no heap traffic, and by the kernel's
+   ordering contract (see :mod:`repro.sim.kernel`) at exactly the
+   position a delayed trigger would have had. Operation latency in
+   simulated time is always 0 cycles either way; only who-waits-on-whom
+   is modelled.
+4. **Conservation.** ``total_puts``/``total_gets`` count accepted
+   handshakes exactly once, including fast-path completions, so
+   queue-occupancy accounting balances under any interleaving
+   (``tests/noc/test_conservation.py``).
+
+Randomized equivalence tests against a reference implementation
+(``tests/sim/test_fastpath_equivalence.py``) pin properties 2 and 3,
+including the waiter/no-waiter boundary cases.
 """
 
 from __future__ import annotations
@@ -47,7 +81,11 @@ class Fifo:
     def put(self, item: Any) -> Event:
         """Enqueue ``item``; the returned event triggers when accepted."""
         event = Event(self.env)
-        if not self.is_full and not self._putters:
+        # Fast path: space available and no putter queued ahead — accept
+        # and trigger immediately (invariant 3; the is_full property is
+        # inlined as this runs once per NoC/PLM handshake).
+        if not self._putters and (self.capacity is None
+                                  or len(self.items) < self.capacity):
             self._accept(item)
             event.succeed()
         else:
@@ -61,7 +99,8 @@ class Fifo:
         if self.items:
             event.succeed(self.items.popleft())
             self.total_gets += 1
-            self._drain_putters()
+            if self._putters:
+                self._drain_putters()
         else:
             event.wait_reason = f"get on empty fifo {self.name!r}"
             self._getters.append(event)

@@ -9,12 +9,36 @@ SimPy): a *process* is a generator that yields :class:`Event` objects;
 when a yielded event triggers, the process resumes with the event's
 value. Time is an integer cycle count, which matches the hardware
 semantics of the simulated SoC (one unit == one clock cycle).
+
+Scheduling order contract
+-------------------------
+
+Events scheduled for the same simulated time are processed in
+scheduling order (FIFO). The implementation keeps two structures:
+
+- a binary heap of ``(time, sequence, event)`` entries for *delayed*
+  events (``delay > 0``), and
+- a plain deque — ``_ready`` — for *zero-delay* events (``succeed``,
+  ``fail``, ``timeout(0)``), which skips the heap entirely.
+
+The split preserves the exact order a single heap would produce:
+zero-delay events are, by construction, scheduled *at* the current
+time, while every heap entry due at the current time was pushed
+*before* the clock reached it (a push at the current time for the
+current time is zero-delay and lands in the deque). Sequence numbers
+increase with push order, so every due heap entry precedes every deque
+entry, and the deque itself is FIFO. ``step()`` therefore drains due
+heap entries first, then the deque, which is bit-identical to the
+single-heap schedule — see ``docs/performance.md`` for the full
+argument and ``tests/sim/test_fastpath_equivalence.py`` for the
+randomized cross-check against a reference single-heap kernel.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 
@@ -71,7 +95,17 @@ class Event:
     An event starts *pending*, is *triggered* with a value (or an
     exception) exactly once, and then has its callbacks run by the
     environment. Processes wait on events by yielding them.
+
+    Events are the unit currency of the simulation — a pipelined run
+    allocates one per FIFO handshake, resource grant and timeout — so
+    the class is slotted: no per-instance ``__dict__``, which roughly
+    halves allocation cost and memory. The two attributes that other
+    layers attach dynamically (``wait_reason`` for deadlock reports,
+    ``__sim_defused__`` for absorbed failures) are declared as slots.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok",
+                 "wait_reason", "__sim_defused__")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -102,15 +136,15 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
-        self.env._schedule(self)
+        self.env._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to raise in waiters."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -127,6 +161,8 @@ class Event:
 
 class Timeout(Event):
     """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
         if delay < 0:
@@ -145,6 +181,8 @@ class Process(Event):
     (and aborts the process if unhandled). The generator's return value
     becomes the process event's value.
     """
+
+    __slots__ = ("_generator", "_target", "name", "_created_at")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any],
@@ -207,54 +245,58 @@ class Process(Event):
                 f"at t={self.env.now}>")
 
     def _resume(self, event: Event) -> None:
-        self.env._active_proc = self
+        env = self.env
+        generator = self._generator
+        env._active_proc = self
         while True:
             try:
-                if event.ok:
-                    target = self._generator.send(event.value)
+                if event._ok:
+                    target = generator.send(event._value)
                 else:
                     # The generator gets a chance to handle the failure;
                     # receiving it here defuses the original event so the
                     # kernel does not crash on it a second time.
                     event.__sim_defused__ = True  # type: ignore[attr-defined]
-                    target = self._generator.throw(event.value)
+                    target = generator.throw(event._value)
             except StopIteration as stop:
-                self.env._active_proc = None
-                if self.env.tracer is not None:
-                    self.env.tracer.complete(
+                env._active_proc = None
+                if env.tracer is not None:
+                    env.tracer.complete(
                         "sim", "processes", self.name, "sim.process",
-                        self._created_at, self.env.now, outcome="done")
+                        self._created_at, env.now, outcome="done")
                 self.succeed(getattr(stop, "value", None))
                 return
             except BaseException as exc:
                 # The process dies; waiters (if any) observe the failure
                 # through this process event. If nobody defuses it, the
                 # exception surfaces from Environment.step().
-                self.env._active_proc = None
-                if self.env.tracer is not None:
-                    self.env.tracer.complete(
+                env._active_proc = None
+                if env.tracer is not None:
+                    env.tracer.complete(
                         "sim", "processes", self.name, "sim.process",
-                        self._created_at, self.env.now, outcome="failed",
+                        self._created_at, env.now, outcome="failed",
                         error=type(exc).__name__)
                 self.fail(exc)
                 return
 
             if not isinstance(target, Event):
-                self.env._active_proc = None
+                env._active_proc = None
                 raise SimulationError(
                     f"process yielded a non-event: {target!r}")
-            if target.processed:
-                # Already done: loop and resume immediately.
+            if target.callbacks is None:
+                # Already processed: loop and resume immediately.
                 event = target
                 continue
             self._target = target
             target.callbacks.append(self._resume)
-            self.env._active_proc = None
+            env._active_proc = None
             return
 
 
 class Condition(Event):
     """Composite event over several sub-events (all-of / any-of)."""
+
+    __slots__ = ("_events", "_evaluate", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[List[Event], int], bool]) -> None:
@@ -298,12 +340,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once every sub-event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events, lambda evs, count: count >= len(evs))
 
 
 class AnyOf(Condition):
     """Triggers as soon as any sub-event triggers."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events, lambda evs, count: count >= 1)
@@ -315,10 +361,20 @@ class Environment:
     def __init__(self, initial_time: int = 0) -> None:
         self._now = initial_time
         self._queue: List = []
+        #: Zero-delay events awaiting dispatch at the current time, in
+        #: FIFO (= scheduling) order. The fast path of ``_schedule``:
+        #: the common case — ``succeed``/``fail``/``timeout(0)`` — skips
+        #: the heap (no tuple, no sequence number, no log-n sift). See
+        #: the module docstring for why the order is unchanged.
+        self._ready: deque = deque()
         self._eid = itertools.count()
         self._active_proc: Optional[Process] = None
         self._processes: List[Process] = []
         self._prune_at = 64
+        #: Events dispatched so far (one increment per ``step()``) — the
+        #: numerator of the events/second throughput metric reported by
+        #: ``benchmarks/bench_perf.py``.
+        self.events_processed = 0
         #: Optional cycle-level tracer (see :mod:`repro.trace`). ``None``
         #: keeps every instrumentation site on its one-comparison path.
         self.tracer = None
@@ -384,25 +440,44 @@ class Environment:
     # -- scheduling / running --------------------------------------------
 
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        if delay:
+            heapq.heappush(self._queue,
+                           (self._now + delay, next(self._eid), event))
+        else:
+            self._ready.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._queue:
+            when = self._queue[0][0]
+            if when == self._now or not self._ready:
+                return when
+        elif not self._ready:
+            return float("inf")
+        return self._now
 
     def step(self) -> None:
-        """Process the next scheduled event."""
-        if not self._queue:
+        """Process the next scheduled event.
+
+        Heap entries due at the current time dispatch before the ready
+        deque (they were scheduled earlier — module docstring); the
+        clock only advances once the deque has drained.
+        """
+        queue = self._queue
+        if queue and (queue[0][0] == self._now or not self._ready):
+            when, _, event = heapq.heappop(queue)
+            self._now = when
+        elif self._ready:
+            event = self._ready.popleft()
+        else:
             raise SimulationError("step() on an empty schedule")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:
             callback(event)
-        if not event.ok and not getattr(event, "__sim_defused__", False):
-            exc = event.value
-            raise exc
+        if not event._ok and not getattr(event, "__sim_defused__", False):
+            raise event._value
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -428,7 +503,7 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})")
 
         try:
-            while self._queue:
+            while self._queue or self._ready:
                 if stop_time is not None and self.peek() > stop_time:
                     self._now = stop_time
                     return None

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Check relative links in the repository's markdown documentation.
+
+Walks every markdown link in ``README.md`` and ``docs/*.md`` (plus any
+extra files given on the command line), resolves relative targets
+against the containing file, and fails when the target does not exist.
+Anchors (``file.md#section``) are checked for file existence only;
+absolute URLs (``http(s)://``, ``mailto:``) are skipped. Exit code is
+the number of broken links, so CI fails on any.
+
+Usage:  python tools/check_links.py [extra.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target). Images share the syntax.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Targets that are not filesystem paths.
+EXTERNAL = re.compile(r"^(https?|ftp|mailto):")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def iter_links(path: Path):
+    """Yield (line number, target) for every inline link in ``path``."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    for lineno, target in iter_links(path):
+        if EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link "
+                f"-> {target}")
+    return problems
+
+
+def main(argv) -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += [Path(arg).resolve() for arg in argv]
+    missing = [f for f in files if not f.exists()]
+    for f in missing:
+        print(f"checked file does not exist: {f}", file=sys.stderr)
+    problems = []
+    for f in files:
+        if f.exists():
+            problems.extend(check_file(f))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    total = len(problems) + len(missing)
+    if not total:
+        print(f"{len(files)} files, all relative links resolve")
+    return total
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
