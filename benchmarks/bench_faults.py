@@ -9,13 +9,19 @@ recovery machinery without faults costs nothing — cycle counts stay
 identical to the unguarded runtime.
 
 Run:  pytest benchmarks/bench_faults.py --benchmark-only -s
+or:   PYTHONPATH=src python benchmarks/bench_faults.py [--smoke]
 """
+
+import argparse
+import json
+from pathlib import Path
 
 from repro.eval import run_fault_campaign
 from repro.eval.faults import (
     campaign_policy,
     chain3_dataflow,
     golden_run,
+    smoke_campaign,
 )
 from repro.eval import build_soc1, de_cl_inputs
 from repro.faults import FaultInjector, zero_fault_plan
@@ -26,9 +32,47 @@ from repro.runtime import EspRuntime
 CAMPAIGN_FRAMES = 4
 
 
+def build_payload(report, smoke=False):
+    """The ``BENCH_faults.json`` payload (``BENCH_perf.json`` schema:
+    benchmark / variant / workloads, one entry per fault kind)."""
+    workloads = {}
+    for record in report.records:
+        entry = workloads.setdefault(record.kind, {
+            "runs": 0, "recovered": 0, "faults_fired": 0,
+            "retries": 0, "watchdog_timeouts": 0, "degraded_runs": 0,
+        })
+        entry["runs"] += 1
+        entry["recovered"] += int(record.recovered)
+        entry["faults_fired"] += record.faults_fired
+        entry["retries"] += record.retries
+        entry["watchdog_timeouts"] += record.watchdog_timeouts
+        entry["degraded_runs"] += int(record.degraded)
+    for kind, summary in report.overhead_by_kind().items():
+        workloads[kind]["overhead_pct"] = {
+            "mean": round(summary.mean, 1),
+            "p95": round(summary.p95, 1),
+            "max": round(summary.max, 1),
+        }
+    return {
+        "benchmark": "bench_faults",
+        "variant": "smoke" if smoke else "full",
+        "recovery_rate": round(report.recovery_rate, 4),
+        "faults_fired": report.faults_fired,
+        "workloads": workloads,
+    }
+
+
+def write_report(payload):
+    out = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
 def test_fault_campaign(once):
     report = once(run_fault_campaign, n_frames=CAMPAIGN_FRAMES)
     print("\n" + report.render())
+    path = write_report(build_payload(report))
+    print(f"report: {path}")
     print("\ncycle overhead (%) over firing runs, by fault kind:")
     for kind, summary in report.overhead_by_kind().items():
         print(f"  {kind:<14} mean={summary.mean:8.1f}%  "
@@ -76,3 +120,24 @@ def test_zero_fault_plan_costs_nothing(once):
               f"armed={armed}")
         assert bare == baseline, mode      # injector alone is free
         assert bare_ok and armed_ok, mode  # outputs stay bit-exact
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed campaign for CI")
+    args = parser.parse_args()
+    if args.smoke:
+        report = smoke_campaign()
+    else:
+        report = run_fault_campaign(n_frames=CAMPAIGN_FRAMES)
+    print(report.render())
+    assert report.faults_fired > 0, "campaign injected nothing"
+    assert report.recovery_rate >= 0.95, (
+        f"recovery rate {report.recovery_rate:.0%} below bar")
+    path = write_report(build_payload(report, smoke=args.smoke))
+    print(f"report: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,8 @@ or:   PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
 """
 
 import argparse
+import json
+from pathlib import Path
 
 import numpy as np
 
@@ -169,10 +171,58 @@ def render(results):
     return "\n".join(lines)
 
 
+def build_payload(results, smoke=False):
+    """The ``BENCH_serve.json`` payload (``BENCH_perf.json`` schema:
+    benchmark / variant / workloads, one entry per measurement)."""
+    report = results["report"]
+    single = results["single_report"]
+
+    def summaries(r):
+        return {tenant: {"count": s.count,
+                         "p50_cycles": round(s.p50, 1),
+                         "p95_cycles": round(s.p95, 1),
+                         "p99_cycles": round(s.p99, 1),
+                         "max_cycles": round(s.max, 1)}
+                for tenant, s in sorted(r.latency_by_tenant.items())}
+
+    return {
+        "benchmark": "bench_serve",
+        "variant": "smoke" if smoke else "full",
+        "workloads": {
+            "sequential": {
+                "throughput_fps": round(results["sequential_fps"], 2),
+            },
+            "single_request": {
+                "throughput_fps": round(single.throughput_fps, 2),
+                "makespan_cycles": single.makespan_cycles,
+                "latency_by_tenant": summaries(single),
+            },
+            "batched": {
+                "throughput_fps": round(report.throughput_fps, 2),
+                "makespan_cycles": report.makespan_cycles,
+                "admitted": report.admitted,
+                "peak_queue_depth": report.peak_queue_depth,
+                "rejected": len(report.rejections),
+                "failed": len(report.failures),
+                "latency_by_tenant": summaries(report),
+            },
+        },
+        "bit_exact": results["bit_exact"],
+    }
+
+
+def write_report(payload):
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
 def test_concurrent_serving(once):
     results = once(run_serve_benchmark)
     print("\n" + render(results))
     check(results)
+    path = write_report(build_payload(results))
+    print(f"report: {path}")
     report = results["report"]
     # Coalescing actually happened: fewer batches than requests.
     total_batches = sum(report.batches_by_tenant.values())
@@ -196,6 +246,8 @@ def main():
         results = run_serve_benchmark()
     print(render(results))
     check(results)
+    path = write_report(build_payload(results, smoke=args.smoke))
+    print(f"report: {path}")
     print("serving benchmark: all assertions passed")
 
 

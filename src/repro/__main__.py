@@ -8,6 +8,7 @@ Usage::
     python -m repro all    [--frames N]
     python -m repro train  [--preset fast|full]
     python -m repro timeline [--mode base|pipe|p2p] [--app KEY]
+    python -m repro metrics-top [--interval CYCLES] [--requests N]
 """
 
 from __future__ import annotations
@@ -62,6 +63,69 @@ def _cmd_timeline(args) -> None:
     print(render_gantt(runtime.soc))
 
 
+def _cmd_metrics_top(args) -> None:
+    """Live ops dashboard over a multi-tenant serving trace.
+
+    Runs the three-tenant SoC-1 serving workload with the metrics
+    registry attached and a sampler rendering one dashboard frame
+    every ``--interval`` cycles — the simulated equivalent of
+    watching ``top`` on a production inference server.
+    """
+    import numpy as np
+
+    from .eval import build_soc1
+    from .eval.apps import (classifier_inputs, dataflow_nv_cl,
+                            de_cl_inputs, nv_cl_inputs)
+    from .metrics import (HealthMonitor, MetricsSampler, default_rules,
+                          instrument_server, render_dashboard)
+    from .runtime import EspRuntime, chain
+    from .serve import (InferenceServer, ServerConfig, TenantConfig,
+                        TracedRequest)
+
+    runtime = EspRuntime(build_soc1())
+    server = InferenceServer(runtime, ServerConfig())
+    dataflows = {"night-vision": dataflow_nv_cl(1, 1),
+                 "classifier": chain("1cl-top", ["cl1"]),
+                 "denoiser": chain("1de-top", ["de0"])}
+    modes = {"night-vision": "p2p", "classifier": "pipe",
+             "denoiser": "pipe"}
+    for name, dataflow in dataflows.items():
+        server.register(TenantConfig(name=name, dataflow=dataflow,
+                                     mode=modes[name]))
+    registry = instrument_server(server)
+    monitor = HealthMonitor(registry, default_rules(server))
+
+    def frame(reg) -> None:
+        monitor.evaluate()
+        print(render_dashboard(runtime.soc, registry, monitor))
+        print()
+
+    sampler = MetricsSampler(registry, interval=args.interval,
+                             callbacks=[frame])
+    sampler.start()
+
+    per_request = args.frames
+    inputs = {
+        "night-vision": nv_cl_inputs(args.requests * per_request)[0],
+        "classifier": classifier_inputs(args.requests * per_request,
+                                        seed=1)[0],
+        "denoiser": de_cl_inputs(args.requests * per_request,
+                                 seed=2)[0],
+    }
+    trace = []
+    for tenant, frames in inputs.items():
+        for index in range(args.requests):
+            lo = index * per_request
+            trace.append(TracedRequest(
+                0, tenant, np.atleast_2d(frames)[lo:lo + per_request]))
+    server.run_trace(trace)
+    sampler.stop()
+    monitor.evaluate()
+    print("== final ==")
+    print(render_dashboard(runtime.soc, registry, monitor))
+    print(f"\n{monitor.render()}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="p2p")
     p.add_argument("--frames", type=int, default=8)
     p.set_defaults(fn=_cmd_timeline)
+
+    p = sub.add_parser("metrics-top",
+                       help="live metrics dashboard over a serving "
+                            "trace")
+    p.add_argument("--interval", type=int, default=10_000,
+                   help="cycles between dashboard frames "
+                        "(default 10000)")
+    p.add_argument("--requests", type=int, default=2,
+                   help="requests per tenant (default 2)")
+    p.add_argument("--frames", type=int, default=2,
+                   help="frames per request (default 2)")
+    p.set_defaults(fn=_cmd_metrics_top)
     return parser
 
 

@@ -57,6 +57,54 @@ class LatencySummary:
                               p99=self.p99 * factor,
                               max=self.max * factor)
 
+    @classmethod
+    def from_histogram(cls, series) -> "LatencySummary":
+        """Summary from a metrics ``HistogramSeries`` (bucketed sample).
+
+        A live histogram keeps bucket counts, not the raw sample, so
+        percentiles are estimated by linear interpolation inside the
+        bucket that contains the target rank (assuming observations
+        spread uniformly across the bucket's ``(lo, hi]`` span).
+
+        Error bound: an estimate can be off by at most one bucket
+        width, i.e. it always lands inside the true value's bucket.
+        With the default power-of-two bounds, the estimate is within a
+        factor of 2 of the true percentile — and in practice much
+        closer when the bucket is well-populated. The mean (``sum``
+        and ``count`` are exact) and the max (tracked per observation)
+        carry no bucketing error. A percentile whose rank falls in the
+        overflow (``+Inf``) bucket clamps to the observed max.
+        """
+        if series.count == 0:
+            raise ValueError("from_histogram of an empty histogram")
+
+        def estimate(q: float) -> float:
+            rank = q / 100.0 * series.count
+            cumulative = 0
+            for index, count in enumerate(series.counts):
+                if count == 0:
+                    continue
+                previous = cumulative
+                cumulative += count
+                if cumulative >= rank:
+                    if index >= len(series.bounds):
+                        return float(series.max)
+                    lo = series.bounds[index - 1] if index else 0
+                    hi = series.bounds[index]
+                    fraction = (rank - previous) / count
+                    return float(min(lo + (hi - lo) * fraction,
+                                     series.max))
+            return float(series.max)
+
+        return cls(
+            count=series.count,
+            mean=series.sum / series.count,
+            p50=estimate(50.0),
+            p95=estimate(95.0),
+            p99=estimate(99.0),
+            max=float(series.max),
+        )
+
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.1f} p50={self.p50:.1f} "
                 f"p95={self.p95:.1f} p99={self.p99:.1f} "

@@ -196,6 +196,9 @@ class Mesh2D:
                 if tracer is not None:
                     tracer.end(held_sids[index])
             self.flit_hops += size_flits * len(route)
+            if self.env.metrics is not None:
+                self.env.metrics.noc_flits.labels(packet.plane).inc(
+                    size_flits * len(route))
         if self.fault_injector is not None:
             # Delivery faults strike after the wormhole released every
             # link, so a lost packet never leaves a stuck channel: the
@@ -204,6 +207,9 @@ class Mesh2D:
             action = self.fault_injector.on_deliver(packet, self.env.now)
             if action == "drop":
                 self.packets_dropped += 1
+                if self.env.metrics is not None:
+                    self.env.metrics.noc_dropped.labels(
+                        packet.plane).inc()
                 if sid is not None:
                     tracer.end(sid, outcome="dropped")
                 if packet.on_lost is not None:
@@ -214,6 +220,9 @@ class Mesh2D:
                 # ejection and discards it — corruption is detected,
                 # never silently delivered.
                 self.packets_corrupted += 1
+                if self.env.metrics is not None:
+                    self.env.metrics.noc_corrupted.labels(
+                        packet.plane).inc()
                 if sid is not None:
                     tracer.end(sid, outcome="corrupted")
                 if packet.on_lost is not None:
@@ -221,6 +230,8 @@ class Mesh2D:
                 return packet
         packet.delivered_at = self.env.now
         self.packets_delivered += 1
+        if self.env.metrics is not None:
+            self.env.metrics.noc_packets.labels(packet.plane).inc()
         self.total_latency += packet.latency
         self.delivered_by_kind[packet.kind] = (
             self.delivered_by_kind.get(packet.kind, 0) + 1)

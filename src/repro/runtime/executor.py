@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..faults import AcceleratorTimeout, NodeFailed, RecoveryPolicy
-from ..sim import Counter, Event, Interrupt, Process
+from ..sim import Event, Interrupt, Process, ProgressCounter
 from ..soc import (
     CMD_REG,
     CMD_RESET,
@@ -446,6 +446,8 @@ class DataflowExecutor:
             if attempt:
                 self.retries += 1
                 plan.retries += 1
+                if env.metrics is not None:
+                    env.metrics.retries.inc()
             # Drain interrupts a previous (abandoned) attempt left over.
             while cpu.try_irq(node.name) is not None:
                 pass
@@ -467,6 +469,8 @@ class DataflowExecutor:
             else:
                 self.watchdog_timeouts += 1
                 plan.watchdog_timeouts += 1
+                if env.metrics is not None:
+                    env.metrics.watchdog_timeouts.inc()
             # Recover the socket: abort whatever is (not) running.
             yield env.timeout(self.costs.reg_write_cycles)
             yield from cpu.write_reg(coord, CMD_REG, CMD_RESET)
@@ -635,7 +639,7 @@ class DataflowExecutor:
     # -- pipe mode -----------------------------------------------------------------
 
     def _pipe_thread(self, plan: ExecutionPlan, node: NodePlan,
-                     counters: Dict[str, Counter]):
+                     counters: Dict[str, ProgressCounter]):
         env = self.soc.env
         no_p2p = P2PConfig()
         spec = node.spec
@@ -662,7 +666,7 @@ class DataflowExecutor:
 
     def _pipe_main(self, plan: ExecutionPlan):
         env = self.soc.env
-        counters = {node.name: Counter(env, name=f"done:{node.name}")
+        counters = {node.name: ProgressCounter(env, name=f"done:{node.name}")
                     for row in plan.levels for node in row}
         yield from self._spawn_threads(
             plan, lambda node: self._pipe_thread(plan, node, counters))
@@ -670,7 +674,7 @@ class DataflowExecutor:
     # -- custom mode (per-edge communication) --------------------------------------
 
     def _custom_thread(self, plan: ExecutionPlan, node: NodePlan,
-                       counters: Dict[str, Counter]):
+                       counters: Dict[str, ProgressCounter]):
         """Per-frame invocations with each edge's own transport.
 
         DMA edges synchronize in software (like ``pipe``); p2p edges
@@ -735,7 +739,7 @@ class DataflowExecutor:
 
     def _custom_main(self, plan: ExecutionPlan):
         env = self.soc.env
-        counters = {node.name: Counter(env, name=f"done:{node.name}")
+        counters = {node.name: ProgressCounter(env, name=f"done:{node.name}")
                     for row in plan.levels for node in row}
         yield from self._spawn_threads(
             plan, lambda node: self._custom_thread(plan, node, counters))
@@ -877,6 +881,8 @@ class DataflowExecutor:
         """
         env = self.soc.env
         self.degraded_runs += 1
+        if env.metrics is not None:
+            env.metrics.degraded_runs.inc()
         self._abort_plan(plan)
         env.run()   # drain aborted threads and in-flight hardware
         self._drain_stale_irqs(plan)
@@ -977,6 +983,8 @@ class DataflowExecutor:
         """
         env = self.soc.env
         self.degraded_runs += 1
+        if env.metrics is not None:
+            env.metrics.degraded_runs.inc()
         yield from self._abort_and_release(plan)
         yield env.timeout(self.recovery.reset_cycles)
         replan = self.plan(dataflow, len(frames), "pipe",

@@ -53,6 +53,19 @@ class RequestQueue:
     def tenants(self) -> List[str]:
         return sorted(self._queues)
 
+    def reset_stats(self) -> None:
+        """Zero the admission statistics (start of a serving run).
+
+        Queued requests are untouched — only the counters restart, so
+        ``peak_depth`` and the admission/rejection totals describe one
+        run instead of accumulating across back-to-back traces.
+        ``peak_depth`` restarts at the *current* depth: requests
+        already queued are part of the new run's peak.
+        """
+        self.admitted = 0
+        self.rejected_by_reason = {}
+        self.peak_depth = self.depth
+
     # -- depth --------------------------------------------------------------
 
     @property

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..eval.harness import LatencySummary, summarize_latencies
 from ..runtime import Dataflow, DataflowExecutor, EspRuntime
-from ..sim import Counter, Environment, Interrupt, Process
+from ..sim import Environment, Interrupt, Process, ProgressCounter
 from ..soc import TileActivity, activity_delta, tile_activity
 from .arbiter import TileArbiter, TileUnavailable
 from .batcher import Batch, Batcher
@@ -184,7 +184,7 @@ class InferenceServer:
         self._tenants: Dict[str, _Tenant] = {}
         self._loops: List[Process] = []
         self._work: Dict[str, object] = {}
-        self._terminal = Counter(self.env, name="serve:terminal")
+        self._terminal = ProgressCounter(self.env, name="serve:terminal")
         self._grant_waits: List[int] = []
         self._request_sids: Dict[str, int] = {}
         self._started = False
@@ -261,9 +261,16 @@ class InferenceServer:
         request = InferenceRequest(tenant=tenant, frames=frames,
                                    priority=priority)
         rejection = self.queue.submit(request, now=self.env.now)
+        metrics = self.env.metrics
         if rejection is not None:
             self.rejections.append(rejection)
+            if metrics is not None:
+                metrics.serve_rejected.labels(tenant,
+                                              rejection.reason).inc()
             return rejection
+        if metrics is not None:
+            metrics.serve_admitted.labels(tenant).inc()
+            metrics.serve_queue_depth.set(self.queue.depth)
         tracer = self.env.tracer
         if tracer is not None:
             self._request_sids[request.request_id] = tracer.begin(
@@ -306,6 +313,9 @@ class InferenceServer:
                 yield env.timeout(tenant.config.batch_window_cycles)
             requests = self.queue.drain(
                 name, tenant.batcher.max_batch_frames)
+            if env.metrics is not None:
+                env.metrics.serve_queue_depth.set(self.queue.depth)
+                env.metrics.serve_batches.labels(name).inc()
             if env.tracer is not None:
                 env.tracer.counter("serve", "queue_depth",
                                    depth=self.queue.depth)
@@ -348,6 +358,10 @@ class InferenceServer:
                         tenant=request.tenant,
                         reason=REJECT_TILE_UNAVAILABLE, at=env.now,
                         detail=str(exc)))
+                    if env.metrics is not None:
+                        env.metrics.serve_rejected.labels(
+                            request.tenant,
+                            REJECT_TILE_UNAVAILABLE).inc()
                     self._end_request_span(request.request_id,
                                            "rejected")
                     self._terminal.increment()
@@ -403,13 +417,16 @@ class InferenceServer:
                     tenant=request.tenant,
                     submitted_at=request.submitted_at,
                     failed_at=env.now, error=error))
+                if env.metrics is not None:
+                    env.metrics.serve_failed.labels(
+                        request.tenant).inc()
                 self._end_request_span(request.request_id, "failed")
                 self._terminal.increment()
             return
         tenant.batches_served += 1
         tenant.frames_served += batch.real_frames
         for request, outputs in batch.split_outputs(result.outputs):
-            self.completions.append(Completion(
+            completion = Completion(
                 request_id=request.request_id,
                 tenant=request.tenant,
                 submitted_at=request.submitted_at,
@@ -419,7 +436,17 @@ class InferenceServer:
                 batch_frames=batch.total_frames,
                 batch_requests=batch.n_requests,
                 degraded=result.degraded,
-                outputs=np.array(outputs, copy=True)))
+                outputs=np.array(outputs, copy=True))
+            self.completions.append(completion)
+            if env.metrics is not None:
+                metrics = env.metrics
+                metrics.serve_completed.labels(request.tenant).inc()
+                metrics.serve_frames.labels(request.tenant).inc(
+                    request.n_frames)
+                metrics.serve_request_cycles.labels(
+                    request.tenant).observe(completion.latency_cycles)
+                metrics.serve_queue_wait_cycles.labels(
+                    request.tenant).observe(completion.queue_cycles)
             self._end_request_span(request.request_id, "completed")
             self._terminal.increment()
 
@@ -443,6 +470,9 @@ class InferenceServer:
         """
         env = self.env
         self.start()
+        # Per-run statistics: peak depth and admission counters in the
+        # report describe *this* trace, not every trace since boot.
+        self.queue.reset_stats()
         origin = env.now
 
         def driver():

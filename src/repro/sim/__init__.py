@@ -12,7 +12,8 @@ from .kernel import (
     SimulationError,
     Timeout,
 )
-from .channels import Barrier, Counter, Fifo, Resource, Semaphore
+from .channels import (Barrier, Counter, Fifo, ProgressCounter, Resource,
+                       Semaphore)
 
 __all__ = [
     "AllOf",
@@ -26,6 +27,7 @@ __all__ = [
     "Fifo",
     "Interrupt",
     "Process",
+    "ProgressCounter",
     "Resource",
     "Semaphore",
     "SimulationError",

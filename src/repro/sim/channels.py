@@ -315,12 +315,17 @@ class Semaphore:
         return tuple(self._waiters)
 
 
-class Counter:
+class ProgressCounter:
     """A monotonically increasing counter with threshold waits.
 
     Models "frames completed" progress that consumers wait on
     (pthread-condition style): ``wait_until(n)`` triggers once the
     counter reaches ``n``.
+
+    Formerly named ``Counter``; renamed so the *synchronization
+    primitive* no longer collides with the metrics/tracer counter
+    concepts (a :class:`repro.metrics.Counter` is pure telemetry and
+    never wakes anyone). The old name remains as a deprecated alias.
     """
 
     def __init__(self, env: Environment, value: int = 0,
@@ -356,6 +361,11 @@ class Counter:
     def waiters(self) -> tuple:
         """(threshold, event) pairs still below the counter value."""
         return tuple(self._waiters)
+
+
+#: Deprecated alias for :class:`ProgressCounter` (the pre-metrics
+#: name). New code should say ``ProgressCounter``.
+Counter = ProgressCounter
 
 
 class Barrier:

@@ -378,6 +378,11 @@ class Environment:
         #: Optional cycle-level tracer (see :mod:`repro.trace`). ``None``
         #: keeps every instrumentation site on its one-comparison path.
         self.tracer = None
+        #: Optional live metrics registry (see :mod:`repro.metrics`).
+        #: Same contract as the tracer: ``None`` means every
+        #: instrumentation site pays one attribute load and a pointer
+        #: compare; attached recording never schedules events.
+        self.metrics = None
 
     @property
     def now(self) -> int:

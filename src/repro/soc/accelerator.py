@@ -179,6 +179,8 @@ class AcceleratorTile:
         restart the tile.
         """
         self.resets += 1
+        if self.env.metrics is not None:
+            self.env.metrics.acc_resets.labels(self.device_name).inc()
         self._start._value = 0   # clear start pulses posted while wedged
         if self._abort is not None and not self._abort.triggered:
             # Busy: pull the reset line; the run loop does the cleanup.
@@ -241,6 +243,9 @@ class AcceleratorTile:
             except KernelCrash:
                 self._abort = None
                 self.kernel_crashes += 1
+                if env.metrics is not None:
+                    env.metrics.acc_crashes.labels(
+                        self.device_name).inc()
                 self.regs._values["STATUS_REG"] = STATUS_ERROR
                 if env.tracer is not None:
                     env.tracer.instant(self.device_name, "socket",
@@ -273,6 +278,13 @@ class AcceleratorTile:
             self.invocations.append(result)
             self.frames_processed += result.frames
             self.busy_cycles += result.cycles
+            if env.metrics is not None:
+                metrics = env.metrics
+                metrics.acc_invocations.labels(self.device_name).inc()
+                metrics.acc_invocation_cycles.labels(
+                    self.device_name).observe(result.cycles)
+                metrics.acc_last_progress.labels(
+                    self.device_name).set(env.now)
             self.regs._values["STATUS_REG"] = STATUS_DONE
             self._raise_irq()
 

@@ -127,6 +127,19 @@ class DmaEngine:
         return words_to_flits(words, self.word_bits,
                               self.mesh.flit_bits(plane))
 
+    def _record_transaction(self, metrics, op: str, words: int) -> None:
+        """One completed transaction into the live metrics registry.
+
+        Also refreshes the owner's last-progress heartbeat gauge — the
+        signal the accelerator-stall health rule watches: a hung kernel
+        or wedged DMA engine stops completing transactions, so the
+        heartbeat goes quiet while ``STATUS_REG`` still reads RUNNING.
+        """
+        owner = self.owner
+        metrics.dma_transactions.labels(owner, op).inc()
+        metrics.dma_words.labels(owner, op).inc(words)
+        metrics.acc_last_progress.labels(owner).set(self.env.now)
+
     def _maybe_stall(self):
         """Injected engine stall before a transaction (generator).
 
@@ -138,6 +151,8 @@ class DmaEngine:
         stall = self.fault_injector.dma_stall(self.coord, self.env.now)
         if stall is None:
             return
+        if self.env.metrics is not None:
+            self.env.metrics.dma_stalls.labels(self.owner).inc()
         if stall < 0:   # FaultInjector.HANG
             forever = self.env.event()
             forever.wait_reason = (f"injected dma hang at tile "
@@ -197,6 +212,9 @@ class DmaEngine:
             del self._responses[tag]
         self.dma_loads += 1
         self.words_loaded += n_words
+        metrics = self.env.metrics
+        if metrics is not None:
+            self._record_transaction(metrics, "dma_load", n_words)
         if sid is not None:
             tracer.end(sid)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
@@ -245,6 +263,9 @@ class DmaEngine:
             yield send
         self.dma_stores += 1
         self.words_stored += n_words
+        metrics = self.env.metrics
+        if metrics is not None:
+            self._record_transaction(metrics, "dma_store", n_words)
         if sid is not None:
             tracer.end(sid)
         return None
@@ -277,6 +298,9 @@ class DmaEngine:
         del self._responses[tag]
         self.p2p_loads += 1
         self.words_loaded += n_words
+        metrics = self.env.metrics
+        if metrics is not None:
+            self._record_transaction(metrics, "p2p_load", n_words)
         if sid is not None:
             tracer.end(sid)
         return np.asarray(packet.payload)
@@ -296,6 +320,9 @@ class DmaEngine:
         yield self._p2p_store_queue.put(data)
         self.p2p_stores += 1
         self.words_stored += len(data)
+        metrics = self.env.metrics
+        if metrics is not None:
+            self._record_transaction(metrics, "p2p_store", len(data))
         if sid is not None:
             tracer.end(sid)
         return None

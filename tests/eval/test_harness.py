@@ -51,3 +51,70 @@ class TestMeasurement:
     def test_invalid_mode_propagates(self):
         with pytest.raises(ValueError):
             measure("1nv_1cl", "warp", n_frames=4)
+
+
+class TestFromHistogram:
+    """LatencySummary.from_histogram vs the exact-sample summary."""
+
+    def hist_of(self, sample):
+        from repro.metrics import MetricsRegistry
+        from repro.sim import Environment
+
+        series = MetricsRegistry(Environment()).histogram(
+            "h_cycles").labels()
+        for value in sample:
+            series.observe(value)
+        return series
+
+    def test_exact_fields_match_raw_sample(self):
+        from repro.eval.harness import LatencySummary, \
+            summarize_latencies
+        import numpy as np
+
+        sample = [int(v) for v in
+                  np.random.default_rng(7).lognormal(8, 1.5, 500)]
+        exact = summarize_latencies(sample)
+        estimated = LatencySummary.from_histogram(self.hist_of(sample))
+        assert estimated.count == exact.count
+        assert estimated.mean == pytest.approx(exact.mean)
+        assert estimated.max == exact.max
+
+    def test_percentiles_within_documented_bound(self):
+        """Each estimate lands inside the true percentile's bucket —
+        within a factor of 2 for the power-of-two default bounds."""
+        from repro.eval.harness import LatencySummary, \
+            summarize_latencies
+        import numpy as np
+
+        sample = [int(v) for v in
+                  np.random.default_rng(7).lognormal(8, 1.5, 500)]
+        exact = summarize_latencies(sample)
+        estimated = LatencySummary.from_histogram(self.hist_of(sample))
+        for name in ("p50", "p95", "p99"):
+            true = getattr(exact, name)
+            est = getattr(estimated, name)
+            assert true / 2 <= est <= true * 2, (name, true, est)
+
+    def test_single_observation(self):
+        from repro.eval.harness import LatencySummary
+
+        summary = LatencySummary.from_histogram(self.hist_of([100]))
+        assert summary.count == 1
+        assert summary.mean == summary.max == 100
+        # Interpolated percentiles never exceed the observed max.
+        assert summary.p50 <= 100 and summary.p99 <= 100
+
+    def test_overflow_bucket_clamps_to_max(self):
+        from repro.eval.harness import LatencySummary
+        from repro.metrics import CYCLE_BUCKETS
+
+        huge = CYCLE_BUCKETS[-1] * 5
+        summary = LatencySummary.from_histogram(
+            self.hist_of([huge] * 10))
+        assert summary.p99 == summary.max == huge
+
+    def test_empty_histogram_raises(self):
+        from repro.eval.harness import LatencySummary
+
+        with pytest.raises(ValueError):
+            LatencySummary.from_histogram(self.hist_of([]))

@@ -128,3 +128,31 @@ class TestDraining:
             queue.submit(req())
         assert len(queue.drain("nv")) == 5
         assert queue.depth == 0
+
+
+class TestResetStats:
+    def test_counters_restart_queued_requests_survive(self):
+        queue = registered_queue(max_depth=4)
+        for _ in range(3):
+            queue.submit(req(), now=0)
+        queue.pop("nv")
+        assert queue.admitted == 3 and queue.peak_depth == 3
+
+        queue.reset_stats()
+        # Statistics restart at the *current* occupancy; the two
+        # still-queued requests are untouched.
+        assert queue.admitted == 0
+        assert queue.rejected_by_reason == {}
+        assert queue.peak_depth == queue.depth == 2
+        assert queue.pop("nv") is not None
+
+    def test_stats_accumulate_after_reset(self):
+        queue = registered_queue(max_depth=2)
+        queue.submit(req(), now=0)
+        queue.submit(req(), now=0)
+        queue.submit(req(), now=0)      # rejected: full
+        queue.reset_stats()
+        queue.pop("nv")
+        queue.submit(req(), now=1)
+        assert queue.admitted == 1
+        assert queue.peak_depth == 2

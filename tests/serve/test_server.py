@@ -300,3 +300,26 @@ class TestReporting:
         assert report.queue_by_tenant["app"].count == 3
         text = report.render()
         assert "app" in text and "throughput" in text
+
+
+class TestPerRunStatistics:
+    def test_consecutive_run_trace_reports_are_per_run(self):
+        """Regression: queue statistics must describe one trace, not
+        every trace since boot — a second ``run_trace`` on the same
+        server used to inherit the first run's admission count and
+        peak depth."""
+        _, server = make_server()
+        server.register(TenantConfig(name="app",
+                                     dataflow=chain("app", ["a0"])))
+        trace = [TracedRequest(0, "app", frames_of(1, seed=s))
+                 for s in range(3)]
+        first = server.run_trace(trace)
+        second = server.run_trace(
+            [TracedRequest(0, "app", frames_of(1, seed=9))])
+
+        assert first.admitted == 3 and first.peak_queue_depth == 3
+        assert second.admitted == 1
+        assert second.peak_queue_depth == 1
+        # Completions still accumulate on the server across runs;
+        # only the queue-side statistics are per-run.
+        assert len(second.completions) == 4

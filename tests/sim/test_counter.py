@@ -1,14 +1,14 @@
-"""Tests for the Counter synchronization primitive."""
+"""Tests for the ProgressCounter synchronization primitive."""
 
 import pytest
 
-from repro.sim import Counter, Environment
+from repro.sim import Counter, Environment, ProgressCounter
 
 
-class TestCounter:
+class TestProgressCounter:
     def test_wait_already_satisfied(self):
         env = Environment()
-        counter = Counter(env, value=5)
+        counter = ProgressCounter(env, value=5)
         seen = []
 
         def proc(env):
@@ -21,7 +21,7 @@ class TestCounter:
 
     def test_wait_blocks_until_threshold(self):
         env = Environment()
-        counter = Counter(env)
+        counter = ProgressCounter(env)
         seen = []
 
         def waiter(env):
@@ -40,7 +40,7 @@ class TestCounter:
 
     def test_increment_by_multiple(self):
         env = Environment()
-        counter = Counter(env)
+        counter = ProgressCounter(env)
         seen = []
 
         def waiter(env):
@@ -59,7 +59,7 @@ class TestCounter:
 
     def test_multiple_waiters_different_thresholds(self):
         env = Environment()
-        counter = Counter(env)
+        counter = ProgressCounter(env)
         order = []
 
         def waiter(env, threshold):
@@ -81,6 +81,14 @@ class TestCounter:
 
     def test_invalid_increment(self):
         env = Environment()
-        counter = Counter(env)
+        counter = ProgressCounter(env)
         with pytest.raises(ValueError):
             counter.increment(by=0)
+
+
+def test_deprecated_counter_alias():
+    """The pre-rename name still resolves to the same class."""
+    from repro.sim.channels import Counter as ChannelCounter
+
+    assert Counter is ProgressCounter
+    assert ChannelCounter is ProgressCounter
