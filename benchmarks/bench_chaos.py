@@ -1,0 +1,218 @@
+"""Chaos campaign: closed-loop self-healing vs. local recovery alone.
+
+Runs :func:`repro.eval.chaos.run_chaos_campaign` — every fault class
+(accelerator hang / crash / slow, DMA stall, NoC drop) injected into
+the live three-tenant serving stack under open-loop traffic, each
+scenario graded with the control plane on and off — and writes
+``BENCH_chaos.json`` (``BENCH_faults.json`` schema family) with
+per-class time-to-detect / MTTR against the declared recovery SLOs.
+
+The pass bar is the self-healing claim itself: the controller-on arm
+must recover **every** scenario within its fault class's SLO, and the
+controller-off arm (which still has the full local watchdog / retry /
+software-fallback machinery) must recover strictly fewer.
+
+The second half is the safety claim: a *fault-free* run with the
+whole observe-decide-act stack attached (sampler + health monitor +
+control plane with a quarantined reserve pool) must stay bit-exact on
+the pinned seed cycle counts of ``bench_perf`` — the control plane is
+pay-for-what-you-use, costing zero cycles until an alert fires.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.control import ControlConfig, ControlPlane
+from repro.eval.apps import APP_CONFIGS, fresh_runtime
+from repro.eval.chaos import run_chaos_campaign
+from repro.metrics import (
+    HealthMonitor,
+    MetricsSampler,
+    default_rules,
+    instrument_server,
+)
+from repro.serve import InferenceServer, ServerConfig
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_perf import (  # noqa: E402
+    PIPE_FRAMES,
+    SEED_CYCLES,
+    SMOKE_CYCLES,
+    SMOKE_PIPE_FRAMES,
+)
+from bench_serve import build_server, build_trace  # noqa: E402
+
+#: Sampler tick for the zero-fault pin runs (same as bench_metrics).
+SAMPLE_INTERVAL = 5_000
+
+#: Reserve pool quarantined by the attached controller in the pin
+#: runs. The pipeline workloads stream through every nv/cl tile, so
+#: holding tiles back there would *rightly* change behaviour — the
+#: serve pin uses the chaos pool to prove quarantine itself is free
+#: on tiles the workload does not claim.
+SERVE_RESERVE_POOL = ("cl2", "cl3", "nv1", "nv2")
+
+
+def _observe_stack(server, controller_on, reserve_pool):
+    """Attach sampler + monitor (+ controller) to a server; return
+    (monitor, controller-or-None, sampler)."""
+    registry = instrument_server(server)
+    monitor = HealthMonitor(registry, default_rules(server))
+    controller = None
+    if controller_on:
+        controller = ControlPlane(server, monitor, ControlConfig(
+            reserve_pool=reserve_pool)).attach()
+    sampler = MetricsSampler(registry, interval=SAMPLE_INTERVAL,
+                             callbacks=[lambda _reg: monitor.evaluate()])
+    return monitor, controller, sampler
+
+
+def zero_fault_serve(controller_on, smoke=False):
+    """The bench_serve trace with the full stack attached; must land
+    exactly on the pinned seed cycle count with zero actions taken."""
+    runtime, server = build_server()
+    monitor, controller, sampler = _observe_stack(
+        server, controller_on, SERVE_RESERVE_POOL)
+    sampler.start()
+    n_requests, frames = (1, 1) if smoke else (2, 2)
+    server.run_trace(build_trace(n_requests, frames))
+    env = runtime.soc.env
+    return {
+        "cycles": env.now,
+        "actions": len(controller.actions) if controller else 0,
+        "alerts": len(monitor.history),
+        "health": monitor.status(),
+    }
+
+
+def zero_fault_pipeline(name, controller_on, smoke=False):
+    """One 4nv_4cl pipeline run with the stack attached to an (idle)
+    server over the same SoC. ``esp_run`` drains the event loop dry,
+    so the sampler is bounded to stop before the pinned end cycle."""
+    expected = (SMOKE_CYCLES if smoke else SEED_CYCLES)[name]
+    config = APP_CONFIGS["4nv_4cl"]
+    n_frames = SMOKE_PIPE_FRAMES if smoke else PIPE_FRAMES
+    frames, _ = config.make_inputs(n_frames, seed=0)
+    runtime = fresh_runtime(config)
+    server = InferenceServer(runtime, ServerConfig())
+    monitor, controller, sampler = _observe_stack(
+        server, controller_on, reserve_pool=())
+    sampler.max_samples = max(1, expected // SAMPLE_INTERVAL)
+    sampler.start()
+    runtime.esp_run(config.build_dataflow(), frames,
+                    mode="p2p" if name == "p2p" else "pipe")
+    env = runtime.soc.env
+    return {
+        "cycles": env.now,
+        "actions": len(controller.actions) if controller else 0,
+        "alerts": len(monitor.history),
+        "health": monitor.status(),
+    }
+
+
+def run_zero_fault_pins(smoke=False):
+    """Both arms of every pinned workload; raises on any drift."""
+    expected = SMOKE_CYCLES if smoke else SEED_CYCLES
+    pins = {}
+    for name in ("p2p", "dma", "serve"):
+        run = zero_fault_serve if name == "serve" else (
+            lambda on, s, _n=name: zero_fault_pipeline(_n, on, s))
+        rows = {}
+        for arm in ("on", "off"):
+            row = run(arm == "on", smoke)
+            rows[arm] = row
+            if row["cycles"] != expected[name]:
+                raise AssertionError(
+                    f"zero-fault {name!r} (controller {arm}) drifted: "
+                    f"{row['cycles']} cycles != pinned "
+                    f"{expected[name]} — the control plane must cost "
+                    f"zero cycles while healthy")
+            if row["actions"] or row["alerts"]:
+                raise AssertionError(
+                    f"zero-fault {name!r} (controller {arm}) was not "
+                    f"quiet: {row['actions']} actions, "
+                    f"{row['alerts']} alerts")
+        pins[name] = {"expected_cycles": expected[name], **rows}
+    return pins
+
+
+def check_campaign(report):
+    """The self-healing pass bar; raises with the report on failure."""
+    on, off = report.arm("on"), report.arm("off")
+    assert on and off, "campaign produced no scenario arms"
+    fired = [r for r in report.results if not r.faults_fired]
+    assert not fired, f"faults never fired: {[r.scenario for r in fired]}"
+    if report.recovered_count("on") != len(on):
+        raise AssertionError(
+            "controller-on arm missed its recovery SLO:\n"
+            + report.render())
+    if not report.controller_strictly_better:
+        raise AssertionError(
+            "controller-off arm recovered as much as controller-on — "
+            "the control plane added nothing:\n" + report.render())
+    for result in on:
+        assert result.ttd_cycles is not None, result.scenario
+        assert result.ttr_cycles is not None, result.scenario
+        assert result.ttr_cycles <= result.recovery_slo_cycles, \
+            result.scenario
+
+
+def build_payload(report, pins, wall_s, smoke=False):
+    return {
+        "benchmark": "chaos",
+        "variant": "smoke" if smoke else "full",
+        "wall_s": round(wall_s, 3),
+        "zero_fault_pins": pins,
+        **report.to_dict(),
+    }
+
+
+def write_report(payload):
+    out = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def run_bench(smoke=False):
+    start = time.perf_counter()
+    report = run_chaos_campaign(smoke=smoke)
+    check_campaign(report)
+    pins = run_zero_fault_pins(smoke=smoke)
+    return report, pins, time.perf_counter() - start
+
+
+# -- pytest entry points ----------------------------------------------------
+
+def test_chaos_campaign(once):
+    report, pins, wall = once(run_bench, smoke=True)
+    print("\n" + report.render())
+    path = write_report(build_payload(report, pins, wall, smoke=True))
+    print(f"report: {path}")
+
+
+# -- standalone -------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="two-scenario short-horizon campaign for CI")
+    args = parser.parse_args(argv)
+    report, pins, wall = run_bench(smoke=args.smoke)
+    print(report.render())
+    for name, row in pins.items():
+        print(f"zero-fault pin {name:6s} {row['expected_cycles']:>6d} "
+              f"cycles: controller-on {row['on']['cycles']}, "
+              f"controller-off {row['off']['cycles']} — held")
+    path = write_report(build_payload(report, pins, wall,
+                                      smoke=args.smoke))
+    print(f"report: {path} ({wall:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro train  [--preset fast|full]
     python -m repro timeline [--mode base|pipe|p2p] [--app KEY]
     python -m repro metrics-top [--interval CYCLES] [--requests N]
+    python -m repro chaos [--smoke] [--seed N]
 """
 
 from __future__ import annotations
@@ -82,8 +83,15 @@ def _cmd_metrics_top(args) -> None:
     from .serve import (InferenceServer, ServerConfig, TenantConfig,
                         TracedRequest)
 
-    runtime = EspRuntime(build_soc1())
-    server = InferenceServer(runtime, ServerConfig())
+    recovery = None
+    if args.chaos:
+        from .faults import RecoveryPolicy
+        recovery = RecoveryPolicy(watchdog_cycles=200_000, max_retries=1,
+                                  software_fallback=True)
+    soc = build_soc1()
+    runtime = EspRuntime(soc, recovery=recovery)
+    server = InferenceServer(runtime, ServerConfig(
+        probation_cycles=60_000 if args.chaos else None))
     dataflows = {"night-vision": dataflow_nv_cl(1, 1),
                  "classifier": chain("1cl-top", ["cl1"]),
                  "denoiser": chain("1de-top", ["de0"])}
@@ -94,6 +102,19 @@ def _cmd_metrics_top(args) -> None:
                                      mode=modes[name]))
     registry = instrument_server(server)
     monitor = HealthMonitor(registry, default_rules(server))
+    controller = None
+    if args.chaos:
+        # The live self-healing demo: hang the classifier's tile a
+        # little into the trace and let the control plane reshard it
+        # onto a spare — the dashboard's control-plane section shows
+        # every action as it lands.
+        from .control import ControlConfig, ControlPlane
+        from .faults import FaultInjector, FaultPlan, FaultSpec
+        controller = ControlPlane(server, monitor, ControlConfig(
+            reserve_pool=("cl2", "cl3"))).attach()
+        FaultInjector(FaultPlan([FaultSpec(
+            kind="acc_hang", target="cl1", at_cycle=2 * args.interval,
+            count=None)])).attach(soc)
 
     def frame(reg) -> None:
         monitor.evaluate()
@@ -124,6 +145,23 @@ def _cmd_metrics_top(args) -> None:
     print("== final ==")
     print(render_dashboard(runtime.soc, registry, monitor))
     print(f"\n{monitor.render()}")
+    if controller is not None and controller.actions:
+        print(f"\n{controller.render()}")
+
+
+def _cmd_chaos(args) -> None:
+    """Run the chaos campaign and print the on/off verdict."""
+    from .eval.chaos import run_chaos_campaign
+    report = run_chaos_campaign(smoke=args.smoke, seed=args.seed)
+    print(report.render())
+    for arm in ("on", "off"):
+        mttr = ", ".join(
+            f"{cls}={ttr:,}" if ttr is not None else f"{cls}=-"
+            for cls, ttr in report.mttr_by_class(arm).items())
+        print(f"MTTR (controller {arm}): {mttr}")
+    if not report.controller_strictly_better:
+        raise SystemExit("chaos campaign verdict: controller did NOT "
+                         "beat local recovery alone")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,7 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per tenant (default 2)")
     p.add_argument("--frames", type=int, default=2,
                    help="frames per request (default 2)")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a tile hang and attach the "
+                        "self-healing control plane")
     p.set_defaults(fn=_cmd_metrics_top)
+
+    p = sub.add_parser("chaos",
+                       help="run the self-healing chaos campaign "
+                            "(controller on vs off)")
+    p.add_argument("--smoke", action="store_true",
+                   help="two-scenario short-horizon variant")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace seed (default 0)")
+    p.set_defaults(fn=_cmd_chaos)
     return parser
 
 

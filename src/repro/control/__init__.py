@@ -1,0 +1,52 @@
+"""Closed-loop self-healing: alerts in, remediation actions out.
+
+The metrics subsystem *observes* (``HealthMonitor`` tracks SLO rules
+through firing -> resolved) and the fault subsystem *reacts locally*
+(``RecoveryPolicy`` arms per-invocation watchdog/retry/fallback), but
+neither closes the loop from a fleet-visible SLO breach back to a
+remediation that restores hardware-speed serving. ``repro.control``
+is that loop: a :class:`ControlPlane` subscribes to the monitor's
+evaluations and drives the serving stack's remediation hooks —
+resharding a tenant off a broken tile, activating a spare from a
+reserve pool, widening a batcher under queue saturation, and forcing
+the CPU software fallback when a stall outlives its retry budget.
+
+Every decision is a first-class :class:`ControlAction` (applied or
+suppressed), metric-instrumented and bounded by per-target cooldowns
+plus an actions-per-window budget so the controller itself cannot
+flap the system it is healing.
+"""
+
+from .actions import (
+    ACTION_ACTIVATE_SPARE,
+    ACTION_FORCE_DEGRADE,
+    ACTION_KINDS,
+    ACTION_RESHARD,
+    ACTION_WIDEN_BATCH,
+    ControlAction,
+    OUTCOME_APPLIED,
+    OUTCOME_BUDGET,
+    OUTCOME_COOLDOWN,
+    OUTCOME_FAILED,
+    OUTCOME_NOOP,
+    OUTCOMES,
+)
+from .controller import BROKEN_TILE_RULE, ControlConfig, ControlPlane
+
+__all__ = [
+    "ACTION_ACTIVATE_SPARE",
+    "BROKEN_TILE_RULE",
+    "ACTION_FORCE_DEGRADE",
+    "ACTION_KINDS",
+    "ACTION_RESHARD",
+    "ACTION_WIDEN_BATCH",
+    "ControlAction",
+    "ControlConfig",
+    "ControlPlane",
+    "OUTCOME_APPLIED",
+    "OUTCOME_BUDGET",
+    "OUTCOME_COOLDOWN",
+    "OUTCOME_FAILED",
+    "OUTCOME_NOOP",
+    "OUTCOMES",
+]

@@ -1,0 +1,93 @@
+"""Remediation actions: the control plane's unit of accountability.
+
+Every decision the controller takes — including the ones it
+*suppresses* — is recorded as a :class:`ControlAction` so a chaos
+campaign (or an operator reading ``metrics-top``) can reconstruct
+exactly what the loop did and why. An action has a *kind* (which
+remediation), a *target* (tile or tenant it applied to), and an
+*outcome*:
+
+``applied``
+    The remediation ran against the live serving stack.
+``cooldown``
+    Suppressed: the same (kind, target) pair was applied too
+    recently. Cooldowns stop the controller from re-firing a fix
+    whose effect has not yet propagated (e.g. a deferred reshard
+    waiting for the tenant's in-flight batch to land).
+``budget-exhausted``
+    Suppressed: the actions-per-window budget is spent. The budget
+    bounds blast radius under an alert storm — a controller that
+    takes unbounded actions is itself a fault injector.
+``no-op``
+    The remediation ran but changed nothing (e.g. widening a batcher
+    already at its cap).
+``failed``
+    The remediation raised; the error text is kept in ``detail``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ACTION_RESHARD = "reshard"
+ACTION_ACTIVATE_SPARE = "activate-spare"
+ACTION_WIDEN_BATCH = "widen-batch"
+ACTION_FORCE_DEGRADE = "force-degrade"
+
+ACTION_KINDS = (
+    ACTION_RESHARD,
+    ACTION_ACTIVATE_SPARE,
+    ACTION_WIDEN_BATCH,
+    ACTION_FORCE_DEGRADE,
+)
+
+OUTCOME_APPLIED = "applied"
+OUTCOME_COOLDOWN = "cooldown"
+OUTCOME_BUDGET = "budget-exhausted"
+OUTCOME_NOOP = "no-op"
+OUTCOME_FAILED = "failed"
+
+OUTCOMES = (
+    OUTCOME_APPLIED,
+    OUTCOME_COOLDOWN,
+    OUTCOME_BUDGET,
+    OUTCOME_NOOP,
+    OUTCOME_FAILED,
+)
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One control-plane decision, applied or suppressed.
+
+    Attributes:
+        cycle: simulation cycle the decision was made at.
+        kind: one of :data:`ACTION_KINDS`.
+        target: the tile or tenant the action addresses.
+        rule: name of the alert rule that motivated the action.
+        outcome: one of :data:`OUTCOMES`.
+        detail: human-readable specifics (mapping applied, error
+            text, suppression reason).
+    """
+
+    cycle: int
+    kind: str
+    target: str
+    rule: str
+    outcome: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if self.outcome not in OUTCOMES:
+            raise ValueError(f"unknown action outcome {self.outcome!r}")
+
+    @property
+    def applied(self) -> bool:
+        return self.outcome == OUTCOME_APPLIED
+
+    def describe(self) -> str:
+        base = (f"[{self.cycle}] {self.kind} {self.target} "
+                f"({self.rule}): {self.outcome}")
+        return f"{base} — {self.detail}" if self.detail else base

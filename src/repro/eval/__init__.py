@@ -45,7 +45,10 @@ __all__ = [
     "AppConfig",
     "BEST_CASE",
     "CampaignReport",
+    "ChaosReport",
+    "ChaosScenario",
     "DEFAULT_FRAMES",
+    "DEFAULT_RECOVERY_SLOS",
     "FIG7_CONFIGS",
     "FIG8_CONFIGS",
     "Fig7Cluster",
@@ -56,12 +59,15 @@ __all__ = [
     "Measurement",
     "GANTT_BUSY",
     "GANTT_OVERLAP",
+    "ScenarioResult",
     "Span",
     "Table1Column",
+    "build_chaos_stack",
     "build_soc1",
     "build_soc2",
     "campaign_policy",
     "chain3_dataflow",
+    "chaos_scenarios",
     "classifier_inputs",
     "dataflow_de_cl",
     "dataflow_multitile",
@@ -83,8 +89,33 @@ __all__ = [
     "render_fig8",
     "render_table1",
     "render_gantt",
+    "run_chaos_campaign",
     "run_fault_campaign",
+    "run_scenario",
     "smoke_campaign",
     "collect_spans",
     "utilization_by_device",
 ]
+
+#: Chaos-campaign exports, resolved lazily (PEP 562): the campaign
+#: module composes serve + metrics + control, each of which reaches
+#: back into ``repro.eval`` for apps/harness helpers — importing it
+#: eagerly here would make every one of those imports circular.
+_CHAOS_EXPORTS = frozenset({
+    "ChaosReport",
+    "ChaosScenario",
+    "DEFAULT_RECOVERY_SLOS",
+    "ScenarioResult",
+    "build_chaos_stack",
+    "chaos_scenarios",
+    "run_chaos_campaign",
+    "run_scenario",
+})
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+        return getattr(chaos, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,11 @@ class RecoveryPolicy:
       of one to three orders of magnitude; 40x is a conservative
       mid-range default).
     - ``reset_cycles``: driver-side cost of a device reset ioctl.
+    - ``max_watchdog_cycles``: ceiling for the backed-off deadline.
+      Unbounded exponential backoff can stretch a single retry past
+      the length of an entire campaign, which turns "retry with more
+      slack" into "never give up"; the cap keeps the worst-case
+      time-to-fallback bounded. ``None`` keeps backoff uncapped.
     """
 
     watchdog_cycles: int = 150_000
@@ -40,10 +46,16 @@ class RecoveryPolicy:
     software_fallback: bool = True
     software_slowdown: float = 40.0
     reset_cycles: int = 400
+    max_watchdog_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.watchdog_cycles < 1:
             raise ValueError("watchdog_cycles must be >= 1")
+        if self.max_watchdog_cycles is not None \
+                and self.max_watchdog_cycles < self.watchdog_cycles:
+            raise ValueError(
+                "max_watchdog_cycles must be >= watchdog_cycles "
+                f"({self.max_watchdog_cycles} < {self.watchdog_cycles})")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_factor < 1.0:
@@ -54,5 +66,9 @@ class RecoveryPolicy:
             raise ValueError("reset_cycles must be >= 0")
 
     def watchdog_for(self, attempt: int) -> int:
-        """Deadline for the given attempt number (0-based)."""
-        return int(self.watchdog_cycles * self.backoff_factor ** attempt)
+        """Deadline for the given attempt number (0-based), capped."""
+        deadline = int(self.watchdog_cycles
+                       * self.backoff_factor ** attempt)
+        if self.max_watchdog_cycles is not None:
+            deadline = min(deadline, self.max_watchdog_cycles)
+        return deadline

@@ -52,12 +52,15 @@ from .health import (
     SloRule,
     accelerator_stall_rule,
     default_rules,
+    latency_burn_rule,
     latency_slo_rule,
     link_congestion_rule,
     queue_saturation_rule,
+    stalled_devices,
 )
 from .dashboard import (
     HEAT_RAMP,
+    render_control_actions,
     render_dashboard,
     render_tenant_table,
     render_tile_grid,
@@ -83,16 +86,19 @@ __all__ = [
     "default_rules",
     "detach_metrics",
     "instrument_server",
+    "latency_burn_rule",
     "latency_slo_rule",
     "link_congestion_rule",
     "parse_exposition",
     "queue_saturation_rule",
     "register_server_collectors",
     "register_soc_collectors",
+    "render_control_actions",
     "render_dashboard",
     "render_tenant_table",
     "render_tile_grid",
     "snapshot",
+    "stalled_devices",
     "to_prometheus",
     "write_snapshot",
 ]

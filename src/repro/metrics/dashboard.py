@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..eval.harness import LatencySummary
 from .health import HealthMonitor
 from .registry import MetricsRegistry
 
@@ -101,6 +100,11 @@ def render_tenant_table(registry: MetricsRegistry,
         failed = registry.serve_failed.labels(tenant).value
         latency = registry.serve_request_cycles.labels(tenant)
         if latency.count:
+            # Imported here, not at module scope: eval aggregates the
+            # whole stack (including repro.control, which needs this
+            # package), so a top-level metrics -> eval import is a
+            # cycle.
+            from ..eval.harness import LatencySummary
             s = LatencySummary.from_histogram(latency).scaled(scale)
             tail = (f"{s.p50:>10.1f}{s.p95:>10.1f}{s.p99:>10.1f}"
                     f"{s.max:>10.1f}")
@@ -108,6 +112,26 @@ def render_tenant_table(registry: MetricsRegistry,
             tail = f"{'-':>10}{'-':>10}{'-':>10}{'-':>10}"
         lines.append(f"{tenant:<14}{completed:>6}{rejected:>5}"
                      f"{failed:>5}{tail}")
+    return lines
+
+
+def render_control_actions(registry: MetricsRegistry) -> List[str]:
+    """Remediation-action counters, from the control-plane families.
+
+    Reads ``control_actions_total`` / ``control_last_action_cycle``
+    only — renderable with or without a live :class:`ControlPlane`
+    attached (empty when no controller ever acted)."""
+    rows = sorted(registry.control_actions.series())
+    if not rows:
+        return []
+    lines = [f"{'action':<16}{'outcome':<18}{'count':>7}"
+             f"{'last applied':>15}"]
+    for (action, outcome), series in rows:
+        last = registry.control_last_action.labels(action).value
+        shown = (f"{int(last):,}"
+                 if outcome == "applied" and last else "-")
+        lines.append(f"{action:<16}{outcome:<18}"
+                     f"{int(series.value):>7}{shown:>15}")
     return lines
 
 
@@ -132,6 +156,11 @@ def render_dashboard(soc, registry: MetricsRegistry,
     lines.append("-" * width)
     lines.extend(" " + line for line in render_tenant_table(
         registry, clock_mhz=soc.clock_mhz))
+    control = render_control_actions(registry)
+    if control:
+        lines.append("-" * width)
+        lines.append(" control plane:")
+        lines.extend(" " + line for line in control)
     if monitor is not None and monitor.firing():
         lines.append("-" * width)
         for alert in monitor.firing():

@@ -363,6 +363,14 @@ class MetricsRegistry:
         self.degraded_runs = self.counter(
             "runtime_degraded_runs_total",
             "Runs degraded to the CPU software fallback")
+        self.control_actions = self.counter(
+            "control_actions_total",
+            "Remediation actions the control plane attempted, by "
+            "action kind and outcome", ("action", "outcome"))
+        self.control_last_action = self.gauge(
+            "control_last_action_cycle",
+            "Cycle of the control plane's last applied action, by "
+            "action kind", ("action",))
 
     # -- family creation ---------------------------------------------------
 

@@ -128,6 +128,35 @@ class Dataflow:
             levels[depth[device]].append(device)
         return levels
 
+    # -- rewriting ---------------------------------------------------------------
+
+    def substitute(self, mapping: Dict[str, str]) -> "Dataflow":
+        """A new dataflow with devices renamed per ``mapping``.
+
+        The structural rewrite behind tenant resharding: the graph
+        (edges, levels, round-robin order) is preserved exactly while
+        the named sockets change — the paper's runtime
+        reconfigurability, where any equivalent accelerator tile can
+        take over a role in the pipeline. Devices not in ``mapping``
+        keep their names; mapping onto a device that stays in the
+        dataflow is rejected (it would alias two roles).
+        """
+        unknown = set(mapping) - set(self.devices)
+        if unknown:
+            raise ValueError(
+                f"substitute: {sorted(unknown)} not in dataflow "
+                f"{self.name!r}")
+        devices = [mapping.get(d, d) for d in self.devices]
+        if len(set(devices)) != len(devices):
+            raise ValueError(
+                f"substitute: mapping {mapping} aliases devices "
+                f"{devices}")
+        edges = [DataflowEdge(src=mapping.get(e.src, e.src),
+                              dst=mapping.get(e.dst, e.dst),
+                              comm=e.comm)
+                 for e in self.edges]
+        return Dataflow(name=self.name, devices=devices, edges=edges)
+
     # -- validation --------------------------------------------------------------
 
     def validate(self) -> None:

@@ -95,6 +95,15 @@ class DeviceRegistry:
         self.by_name(name)   # raises KeyError for unknown names
         self._failed.add(name)
 
+    def clear_failed(self, name: str) -> None:
+        """Clear one device's failed mark (targeted repair).
+
+        The per-device counterpart of a full re-probe: the probation
+        path resets a single tile and re-admits it without rescanning
+        the whole SoC."""
+        self.by_name(name)   # raises KeyError for unknown names
+        self._failed.discard(name)
+
     def is_failed(self, name: str) -> bool:
         return name in self._failed
 

@@ -24,7 +24,7 @@ honours each edge's own transport):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -217,6 +217,14 @@ class DataflowExecutor:
         self.watchdog_timeouts = 0
         self.software_frames = 0
         self.degraded_runs = 0
+        #: Devices the control plane ordered onto the CPU fallback.
+        #: Unlike a registry ``failed`` mark (the hardware's verdict),
+        #: a forced device is a *policy* decision: invocations route
+        #: straight to software without burning the watchdog ladder,
+        #: and an in-flight watchdog wait is preempted immediately.
+        self.forced_software: Set[str] = set()
+        self.forced_preemptions = 0
+        self._preempts: Dict[str, Event] = {}
         #: Upper bound, in cycles, on the posted-store quiesce wait of
         #: the re-entrant :meth:`run_process` path. ``None`` waits
         #: until fully quiescent; a bound writes lost stores off so a
@@ -396,17 +404,50 @@ class DataflowExecutor:
         if sid is not None:
             tracer.end(sid)
 
+    # -- control-plane override ---------------------------------------------
+
+    def force_software(self, name: str) -> None:
+        """Order ``name`` onto the CPU fallback until further notice.
+
+        The control plane's escalation for a tile whose stall alert
+        outlives the local retry budget: subsequent invocations skip
+        the hardware entirely, and an invocation currently parked on
+        the watchdog is preempted *now* instead of serving out the
+        backed-off deadline. Requires a recovery policy with
+        ``software_fallback`` (there is nothing to fall back to
+        otherwise)."""
+        if self.recovery is None or not self.recovery.software_fallback:
+            raise RuntimeError(
+                "force_software needs a recovery policy with "
+                "software_fallback enabled")
+        self.registry.by_name(name)   # raises on unknown devices
+        self.forced_software.add(name)
+        pending = self._preempts.get(name)
+        if pending is not None and not pending.triggered:
+            pending.succeed()
+
+    def clear_forced(self, name: str) -> None:
+        """Lift a :meth:`force_software` order (tile repaired)."""
+        self.forced_software.discard(name)
+
     def _await_completion(self, node: NodePlan, watchdog_cycles: int):
         """IRQ race against the watchdog; True when the IRQ arrived.
 
         On timeout the pending IRQ getter is withdrawn so a late
         interrupt parks in the queue (drained before the next attempt)
-        instead of resuming a waiter that gave up.
-        """
+        instead of resuming a waiter that gave up. A
+        :meth:`force_software` order for the device resolves the race
+        immediately (counted as a preemption, not a timeout, by the
+        caller)."""
         env = self.soc.env
         cpu = self.soc.cpu
         irq = cpu.irq_event(node.name)
-        yield env.any_of([irq, env.timeout(watchdog_cycles)])
+        preempt = env.event()
+        preempt.wait_reason = f"force-software preempt for {node.name}"
+        self._preempts[node.name] = preempt
+        yield env.any_of([irq, env.timeout(watchdog_cycles), preempt])
+        if self._preempts.get(node.name) is preempt:
+            del self._preempts[node.name]
         if irq.triggered:
             return True
         cpu.cancel_irq(node.name, irq)
@@ -443,6 +484,10 @@ class DataflowExecutor:
         if sid is not None:
             tracer.end(sid)
         for attempt in range(max_attempts):
+            if node.name in self.forced_software:
+                # The control plane ordered this device onto the CPU
+                # mid-retry: stop burning the watchdog ladder.
+                return False
             if attempt:
                 self.retries += 1
                 plan.retries += 1
@@ -466,6 +511,9 @@ class DataflowExecutor:
                     coord, STATUS_REG, policy.watchdog_cycles)
                 if status == STATUS_DONE:
                     return True
+            elif node.name in self.forced_software:
+                # Preempted by force_software, not a watchdog verdict.
+                self.forced_preemptions += 1
             else:
                 self.watchdog_timeouts += 1
                 plan.watchdog_timeouts += 1
@@ -535,7 +583,8 @@ class DataflowExecutor:
             return
         policy = self.recovery
         streaming = p2p.uses_p2p
-        if self.registry.is_failed(node.name):
+        if self.registry.is_failed(node.name) \
+                or node.name in self.forced_software:
             if streaming:
                 raise NodeFailed(node.name,
                                  "device marked failed; a p2p stream "
@@ -551,6 +600,16 @@ class DataflowExecutor:
             plan, node, src_offset, dst_offset, n_frames, p2p, src_stride,
             dst_stride, plan.coherent, divider, attempts)
         if ok:
+            return
+        if node.name in self.forced_software:
+            # A control-plane order, not a hardware verdict: route to
+            # software without branding the device failed.
+            if streaming:
+                raise NodeFailed(node.name,
+                                 "forced to software mid-stream")
+            yield from self._software_node(plan, node, src_offset,
+                                           dst_offset, n_frames,
+                                           src_stride, dst_stride)
             return
         self.registry.mark_failed(node.name)
         if streaming:

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import (
+    Callable, Dict, FrozenSet, Iterable, List, Optional, Set)
 
 from ..sim import Environment, Event
 
@@ -56,10 +57,14 @@ class TileArbiter:
     """Tracks tile ownership; grants disjoint tile sets concurrently."""
 
     def __init__(self, env: Environment, tiles: Iterable[str],
-                 policy: str = "fifo") -> None:
+                 policy: str = "fifo",
+                 probation_cycles: Optional[int] = None,
+                 max_probation_cycles: Optional[int] = None) -> None:
         if policy not in ARBITER_POLICIES:
             raise ValueError(f"policy must be one of {ARBITER_POLICIES}, "
                              f"got {policy!r}")
+        if probation_cycles is not None and probation_cycles < 1:
+            raise ValueError("probation_cycles must be >= 1")
         self.env = env
         self.policy = policy
         self.tiles: FrozenSet[str] = frozenset(tiles)
@@ -69,6 +74,20 @@ class TileArbiter:
         self._unavailable: Set[str] = set()
         self._pending: List[Claim] = []
         self._seq = itertools.count()
+        # Probation: quarantined tiles are re-admitted after a delay
+        # (exponential backoff per repeat quarantine, capped). None
+        # keeps the original permanent-quarantine behavior.
+        self.probation_cycles = probation_cycles
+        self.max_probation_cycles = (
+            max_probation_cycles
+            if max_probation_cycles is not None
+            else (probation_cycles or 0) * 16)
+        self._readmit_at: Dict[str, int] = {}
+        self._quarantine_count: Dict[str, int] = {}
+        #: Called with the tile name when probation re-admits it
+        #: (hook for the server to reset/repair the device first).
+        self.on_readmit: Optional[Callable[[str], None]] = None
+        self.readmissions = 0
         # Statistics.
         self.grants = 0
         self.total_wait_cycles = 0
@@ -84,6 +103,11 @@ class TileArbiter:
     @property
     def unavailable_tiles(self) -> FrozenSet[str]:
         return frozenset(self._unavailable)
+
+    @property
+    def readmit_schedule(self) -> Dict[str, int]:
+        """Quarantined tile -> cycle its probation ends (copy)."""
+        return dict(self._readmit_at)
 
     @property
     def pending_claims(self) -> int:
@@ -113,6 +137,7 @@ class TileArbiter:
         if unknown:
             raise KeyError(f"unknown tiles {sorted(unknown)}; arbiter "
                            f"manages {sorted(self.tiles)}")
+        self._check_probation()
         event = self.env.event()
         event.wait_reason = (f"tile grant for {sorted(tiles)}"
                              + (f" ({label})" if label else ""))
@@ -149,14 +174,35 @@ class TileArbiter:
 
     # -- failure integration ---------------------------------------------------
 
-    def mark_unavailable(self, tile: str) -> None:
-        """A tile failed: stop granting it (it may be busy right now;
-        it simply never returns to the free pool until repaired).
-        Pending claims that need it and forbid degraded service fail
-        immediately instead of waiting forever."""
+    def mark_unavailable(self, tile: str,
+                         probation: Optional[bool] = None) -> None:
+        """A tile failed: stop granting it. Pending claims that need
+        it and forbid degraded service fail immediately instead of
+        waiting forever.
+
+        With probation configured (``probation_cycles`` on the
+        arbiter, or ``probation=True`` here), the quarantine is a
+        sentence, not a verdict: the tile is re-admitted after the
+        probation delay, doubled per repeat quarantine (capped at
+        ``max_probation_cycles``) so a genuinely broken tile backs
+        off instead of flapping. Otherwise the tile never returns to
+        the free pool until :meth:`mark_available` repairs it —
+        the original permanent behavior."""
         if tile not in self.tiles:
             raise KeyError(f"unknown tile {tile!r}")
         self._unavailable.add(tile)
+        use_probation = (self.probation_cycles is not None
+                         if probation is None else probation)
+        if use_probation:
+            base = self.probation_cycles or 1
+            count = self._quarantine_count.get(tile, 0) + 1
+            self._quarantine_count[tile] = count
+            delay = base * 2 ** (count - 1)
+            if self.max_probation_cycles:
+                delay = min(delay, self.max_probation_cycles)
+            self._readmit_at[tile] = self.env.now + delay
+        else:
+            self._readmit_at.pop(tile, None)
         doomed = [c for c in self._pending
                   if tile in c.tiles and not c.allow_unavailable]
         for claim in doomed:
@@ -164,11 +210,33 @@ class TileArbiter:
             claim.event.fail(TileUnavailable({tile}))
 
     def mark_available(self, tile: str) -> None:
-        """A failed tile was repaired/reset: grant it again."""
+        """A failed tile was repaired/reset: grant it again.
+
+        Explicit repair, not probation: the pending probation entry
+        (if any) is dropped, but the quarantine count is kept so a
+        tile that keeps failing still backs off exponentially."""
         if tile not in self.tiles:
             raise KeyError(f"unknown tile {tile!r}")
         self._unavailable.discard(tile)
+        self._readmit_at.pop(tile, None)
         self._scan()
+
+    def _check_probation(self) -> None:
+        """Re-admit quarantined tiles whose probation has elapsed.
+
+        Checked lazily from :meth:`acquire` and :meth:`_scan` — no
+        timer process, so an idle arbiter costs the simulation
+        nothing and zero-fault runs keep their exact cycle counts."""
+        if not self._readmit_at:
+            return
+        now = self.env.now
+        due = [t for t, at in self._readmit_at.items() if now >= at]
+        for tile in due:
+            del self._readmit_at[tile]
+            self._unavailable.discard(tile)
+            self.readmissions += 1
+            if self.on_readmit is not None:
+                self.on_readmit(tile)
 
     # -- the grant scan ---------------------------------------------------------
 
@@ -191,6 +259,7 @@ class TileArbiter:
 
     def _scan(self) -> None:
         """First-fit in policy order over the pending claims."""
+        self._check_probation()
         granted = True
         while granted:
             granted = False

@@ -88,6 +88,26 @@ class Batcher:
         self.batches_formed = 0
         self.requests_coalesced = 0
         self.frames_padded = 0
+        self.widenings = 0
+
+    def widen(self, factor: float = 2.0,
+              cap: int = 256) -> int:
+        """Grow ``max_batch_frames`` under queue pressure.
+
+        A saturated admission queue with a healthy pipeline means the
+        per-invocation overhead dominates: larger batches amortize it
+        over more frames. The new bound is rounded up to a multiple of
+        the quantum and capped. Returns the new bound (unchanged when
+        already at the cap)."""
+        if factor <= 1.0:
+            raise ValueError("widen factor must be > 1")
+        target = min(int(self.max_batch_frames * factor), cap)
+        target = max(target, self.quantum)
+        target = math.ceil(target / self.quantum) * self.quantum
+        if target > self.max_batch_frames:
+            self.max_batch_frames = target
+            self.widenings += 1
+        return self.max_batch_frames
 
     def form(self, requests: List[InferenceRequest]) -> Batch:
         """Coalesce ``requests`` (already size-limited by the queue's

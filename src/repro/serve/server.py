@@ -29,7 +29,7 @@ and are rejected with ``tile-unavailable`` when it does not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
@@ -76,6 +76,10 @@ class ServerConfig:
     #: Bound on the posted-store quiesce of each request (see
     #: ``DataflowExecutor.quiesce_bound``); ``None`` waits fully.
     quiesce_bound: Optional[int] = None
+    #: Probation delay for quarantined tiles (``None`` keeps the
+    #: permanent quarantine). On re-admission the server resets the
+    #: tile and clears its failed mark before the arbiter grants it.
+    probation_cycles: Optional[int] = None
 
 
 @dataclass
@@ -90,6 +94,11 @@ class _Tenant:
     activity: Dict[str, TileActivity] = field(default_factory=dict)
     batches_served: int = 0
     frames_served: int = 0
+    #: True while a batch is between drain and release: a reshard
+    #: arriving then is deferred to the next loop iteration.
+    in_flight: bool = False
+    pending_reshard: Optional[TenantConfig] = None
+    reshards: int = 0
 
 
 @dataclass
@@ -178,9 +187,11 @@ class InferenceServer:
         self.executor.quiesce_bound = self.config.quiesce_bound
         self.queue = RequestQueue(self.config.max_queue_depth)
         self.queue.on_admit = self._on_admit
-        self.arbiter = TileArbiter(self.env,
-                                   sorted(self.soc.accelerators),
-                                   policy=self.config.policy)
+        self.arbiter = TileArbiter(
+            self.env, sorted(self.soc.accelerators),
+            policy=self.config.policy,
+            probation_cycles=self.config.probation_cycles)
+        self.arbiter.on_readmit = self.repair_tile
         self._tenants: Dict[str, _Tenant] = {}
         self._loops: List[Process] = []
         self._work: Dict[str, object] = {}
@@ -201,16 +212,7 @@ class InferenceServer:
                                "server")
         if config.name in self._tenants:
             raise ValueError(f"tenant {config.name!r} already registered")
-        registry = self.executor.registry
-        for device in config.dataflow.devices:
-            registry.by_name(device)   # raises on unknown devices
-        levels = config.dataflow.levels()
-        first = registry.by_name(levels[0][0])
-        input_words = first.tile.spec.input_words
-        est = 0
-        for names in levels:
-            spec = registry.by_name(names[0]).tile.spec
-            est += max(1, spec.latency_cycles // len(names))
+        input_words, est = self._pipeline_estimates(config.dataflow)
         tenant = _Tenant(
             config=config,
             batcher=Batcher(config.dataflow,
@@ -222,9 +224,111 @@ class InferenceServer:
         self._tenants[config.name] = tenant
         self.queue.register(config.name, input_words)
 
+    def _pipeline_estimates(self, dataflow: Dataflow) -> tuple:
+        """``(input_words, est_cycles_per_frame)`` for a dataflow;
+        validates every device against the registry."""
+        registry = self.executor.registry
+        for device in dataflow.devices:
+            registry.by_name(device)   # raises on unknown devices
+        levels = dataflow.levels()
+        first = registry.by_name(levels[0][0])
+        est = 0
+        for names in levels:
+            spec = registry.by_name(names[0]).tile.spec
+            est += max(1, spec.latency_cycles // len(names))
+        return first.tile.spec.input_words, est
+
     @property
     def tenants(self) -> List[str]:
         return sorted(self._tenants)
+
+    def tenant_tiles(self) -> Dict[str, FrozenSet[str]]:
+        """Target tile set per tenant: where each tenant is *headed* —
+        a pending (deferred) reshard counts, so a controller does not
+        re-remediate a swap that is already scheduled. The tiles a
+        dispatch actually holds are snapshotted in ``_dispatch``."""
+        placed = {}
+        for name, tenant in self._tenants.items():
+            config = tenant.pending_reshard or tenant.config
+            placed[name] = frozenset(config.dataflow.devices)
+        return placed
+
+    def batch_bound(self, name: str) -> int:
+        """A tenant's current ``max_batch_frames`` (widening included)."""
+        return self._tenants[name].batcher.max_batch_frames
+
+    # -- remediation hooks (driven by the control plane) ----------------------
+
+    def reshard_tenant(self, name: str,
+                       mapping: Dict[str, str]) -> str:
+        """Re-place a tenant's pipeline onto substitute tiles.
+
+        ``mapping`` renames devices of the tenant's dataflow (old ->
+        new); each substitute must implement the same kernel (equal
+        spec) so the pipeline's geometry and semantics are unchanged —
+        the paper's runtime reconfigurability, exercised to move a
+        tenant off a saturated or quarantined tile. Validation happens
+        here; the swap itself lands between batches (a batch in flight
+        keeps its tiles until it releases them). Returns ``"applied"``
+        or ``"deferred"``.
+        """
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise KeyError(f"no tenant named {name!r}")
+        registry = self.executor.registry
+        base = tenant.pending_reshard or tenant.config
+        for old, new in mapping.items():
+            old_spec = registry.by_name(old).spec_name
+            new_spec = registry.by_name(new).spec_name
+            if old_spec != new_spec:
+                raise ValueError(
+                    f"cannot reshard {old!r} ({old_spec}) onto "
+                    f"{new!r} ({new_spec}): different kernels")
+        dataflow = base.dataflow.substitute(mapping)
+        if base.mode == "p2p":
+            dataflow.validate_for_p2p()
+        elif base.mode == "custom":
+            dataflow.validate_for_custom()
+        else:
+            dataflow.validate()
+        tenant.pending_reshard = replace(base, dataflow=dataflow)
+        if tenant.in_flight:
+            return "deferred"
+        self._apply_reshard(tenant)
+        return "applied"
+
+    def _apply_reshard(self, tenant: _Tenant) -> None:
+        config = tenant.pending_reshard
+        if config is None:
+            return
+        tenant.pending_reshard = None
+        input_words, est = self._pipeline_estimates(config.dataflow)
+        # Keep a widened batch bound across the reshard.
+        max_frames = max(tenant.batcher.max_batch_frames,
+                         config.max_batch_frames)
+        tenant.config = config
+        tenant.batcher = Batcher(config.dataflow,
+                                 max_batch_frames=max_frames)
+        tenant.tiles = frozenset(config.dataflow.devices)
+        tenant.input_words = input_words
+        tenant.est_cycles_per_frame = est
+        tenant.reshards += 1
+
+    def widen_batch(self, name: str, factor: float = 2.0,
+                    cap: int = 256) -> int:
+        """Grow a tenant's batch bound (queue-saturation remediation);
+        returns the new ``max_batch_frames``."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise KeyError(f"no tenant named {name!r}")
+        return tenant.batcher.widen(factor, cap)
+
+    def repair_tile(self, tile: str) -> None:
+        """Reset a tile and clear its failure state (probation
+        re-admission, or the control plane activating a spare)."""
+        self.soc.accelerators[tile].host_reset()
+        self.executor.registry.clear_failed(tile)
+        self.executor.clear_forced(tile)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -311,6 +415,8 @@ class InferenceServer:
                 yield event
             if tenant.config.batch_window_cycles:
                 yield env.timeout(tenant.config.batch_window_cycles)
+            self._apply_reshard(tenant)
+            tenant.in_flight = True
             requests = self.queue.drain(
                 name, tenant.batcher.max_batch_frames)
             if env.metrics is not None:
@@ -323,9 +429,9 @@ class InferenceServer:
                                    "serve.batch", requests=len(requests))
             batch = tenant.batcher.form(requests)
             granted = yield from self._acquire_tiles(tenant, batch)
-            if not granted:
-                continue
-            yield from self._dispatch(tenant, batch)
+            if granted:
+                yield from self._dispatch(tenant, batch)
+            tenant.in_flight = False
 
     def _acquire_tiles(self, tenant: _Tenant, batch: Batch):
         """All-or-nothing grant of the tenant's tile set.
@@ -380,7 +486,10 @@ class InferenceServer:
         env = self.env
         config = tenant.config
         started = env.now
-        names = sorted(tenant.tiles)
+        # Snapshot the tile set: a reshard landing mid-dispatch swaps
+        # ``tenant.tiles``, but *these* tiles are the ones held.
+        tiles = tenant.tiles
+        names = sorted(tiles)
         before = tile_activity(self.soc, names)
         tracer = env.tracer
         sid = None if tracer is None else tracer.begin(
@@ -396,7 +505,7 @@ class InferenceServer:
         except Interrupt:
             if sid is not None:
                 tracer.end(sid, outcome="interrupted")
-            self.arbiter.release(tenant.tiles)
+            self.arbiter.release(tiles)
             raise
         except Exception as exc:
             error = exc
@@ -406,8 +515,8 @@ class InferenceServer:
             held = tenant.activity.get(device)
             tenant.activity[device] = \
                 activity if held is None else held + activity
-        self.arbiter.release(tenant.tiles)
-        self._quarantine_failed(tenant)
+        self.arbiter.release(tiles)
+        self._quarantine_failed(tiles)
         if sid is not None:
             tracer.end(sid, outcome="failed" if error else "completed")
         if error is not None:
@@ -450,9 +559,9 @@ class InferenceServer:
             self._end_request_span(request.request_id, "completed")
             self._terminal.increment()
 
-    def _quarantine_failed(self, tenant: _Tenant) -> None:
+    def _quarantine_failed(self, tiles: FrozenSet[str]) -> None:
         registry = self.executor.registry
-        for device in tenant.tiles:
+        for device in tiles:
             if registry.is_failed(device) \
                     and device not in self.arbiter.unavailable_tiles:
                 self.arbiter.mark_unavailable(device)

@@ -229,6 +229,14 @@ class AcceleratorTile:
             yield self._start.wait()
             self.regs._values[CMD_REG] = 0
             self.regs._values["STATUS_REG"] = STATUS_RUNNING
+            if env.metrics is not None:
+                # Heartbeat: starting counts as progress, so a tile
+                # that sat idle for a long time (a freshly activated
+                # spare) is not instantly "stalled" on its first
+                # invocation — quiet time is measured from the start,
+                # not from whenever the tile last did work.
+                env.metrics.acc_last_progress.labels(
+                    self.device_name).set(env.now)
             config = self._snapshot_config()
             fault = None
             if self.fault_injector is not None:

@@ -1,0 +1,46 @@
+"""ControlAction: the validated record of one remediation decision."""
+
+import pytest
+
+from repro.control import (
+    ACTION_KINDS,
+    ACTION_RESHARD,
+    ControlAction,
+    OUTCOME_APPLIED,
+    OUTCOME_COOLDOWN,
+    OUTCOMES,
+)
+
+
+class TestControlAction:
+    def test_valid_action_and_describe(self):
+        action = ControlAction(cycle=1234, kind=ACTION_RESHARD,
+                               target="classifier",
+                               rule="tenant-tile-broken",
+                               outcome=OUTCOME_APPLIED,
+                               detail="classifier: cl1 -> cl2")
+        assert action.applied
+        text = action.describe()
+        assert "1234" in text and "reshard" in text
+        assert "classifier: cl1 -> cl2" in text
+
+    def test_suppressed_action_is_not_applied(self):
+        action = ControlAction(cycle=0, kind=ACTION_RESHARD,
+                               target="t", rule="r",
+                               outcome=OUTCOME_COOLDOWN)
+        assert not action.applied
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ControlAction(cycle=0, kind="reboot-the-datacenter",
+                          target="t", rule="r",
+                          outcome=OUTCOME_APPLIED)
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError, match="outcome"):
+            ControlAction(cycle=0, kind=ACTION_RESHARD, target="t",
+                          rule="r", outcome="shrug")
+
+    def test_registries_are_consistent(self):
+        assert len(set(ACTION_KINDS)) == len(ACTION_KINDS) == 4
+        assert len(set(OUTCOMES)) == len(OUTCOMES) == 5

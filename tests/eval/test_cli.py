@@ -18,6 +18,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--preset", "turbo"])
 
+    def test_chaos_flags(self):
+        args = build_parser().parse_args(["chaos", "--smoke"])
+        assert args.smoke and args.seed == 0
+        args = build_parser().parse_args(["metrics-top", "--chaos"])
+        assert args.chaos
+
 
 class TestCommands:
     def test_table1(self, capsys):

@@ -37,6 +37,37 @@ def policy(**kwargs):
     return RecoveryPolicy(**kwargs)
 
 
+class TestWatchdogCap:
+    def test_uncapped_backoff_grows_exponentially(self):
+        p = policy(backoff_factor=2.0)
+        assert [p.watchdog_for(a) for a in range(4)] == \
+            [20_000, 40_000, 80_000, 160_000]
+
+    def test_cap_clamps_backed_off_deadlines(self):
+        p = policy(backoff_factor=2.0, max_watchdog_cycles=50_000)
+        assert [p.watchdog_for(a) for a in range(4)] == \
+            [20_000, 40_000, 50_000, 50_000]
+
+    def test_cap_below_base_deadline_rejected(self):
+        with pytest.raises(ValueError, match="max_watchdog_cycles"):
+            policy(max_watchdog_cycles=10_000)
+
+    def test_cap_equal_to_base_pins_every_attempt(self):
+        p = policy(backoff_factor=4.0, max_watchdog_cycles=20_000)
+        assert [p.watchdog_for(a) for a in range(3)] == [20_000] * 3
+
+    def test_capped_policy_still_recovers_a_hang(self):
+        soc = three_stage_soc()
+        FaultInjector(FaultPlan([
+            FaultSpec(kind="acc_hang", target="s1", at_cycle=1,
+                      count=1)])).attach(soc)
+        runtime, result, expected = run_chain(
+            soc, recovery=policy(max_retries=2, backoff_factor=8.0,
+                                 max_watchdog_cycles=25_000))
+        assert (result.outputs == expected).all()
+        assert runtime.executor.watchdog_timeouts >= 1
+
+
 class TestHangRecovery:
     def test_pipe_hang_recovers_bit_exact_via_retry(self):
         """The headline scenario: a kernel hang in the middle stage of

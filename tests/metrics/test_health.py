@@ -113,6 +113,128 @@ class TestMonitor:
                     severity="catastrophic")
 
 
+class TestHysteresisAndHistory:
+    def advance(self, registry, cycles):
+        env = registry.env
+        env.run(until=env.timeout(cycles))
+
+    def test_fire_after_requires_consecutive_breaches(self):
+        registry = fresh_registry()
+        rule, state = flag_rule()
+        monitor = HealthMonitor(registry, [rule], fire_after=3)
+        state["violated"] = True
+        assert monitor.evaluate() == []
+        assert monitor.evaluate() == []
+        assert monitor.status() == "healthy"
+        transitions = monitor.evaluate()
+        assert [a.state for a in transitions] == [STATE_FIRING]
+
+    def test_noisy_scrape_cannot_flap_an_alert(self):
+        registry = fresh_registry()
+        rule, state = flag_rule()
+        monitor = HealthMonitor(registry, [rule], fire_after=2)
+        # Alternating breach/clean never accumulates the streak.
+        for _ in range(4):
+            state["violated"] = True
+            assert monitor.evaluate() == []
+            state["violated"] = False
+            assert monitor.evaluate() == []
+        assert monitor.history == []
+
+    def test_resolve_after_holds_through_one_clean_scrape(self):
+        registry = fresh_registry()
+        rule, state = flag_rule()
+        monitor = HealthMonitor(registry, [rule], resolve_after=2)
+        state["violated"] = True
+        monitor.evaluate()
+        state["violated"] = False
+        assert monitor.evaluate() == []          # one clean: held
+        state["violated"] = True
+        assert monitor.evaluate() == []          # breach resets streak
+        state["violated"] = False
+        assert monitor.evaluate() == []
+        transitions = monitor.evaluate()         # two clean: resolves
+        assert [a.state for a in transitions] == [STATE_RESOLVED]
+        assert len(monitor.history) == 1
+
+    def test_rule_override_beats_monitor_default(self):
+        registry = fresh_registry()
+        slow, slow_state = flag_rule("slow")
+        fast, fast_state = flag_rule("fast")
+        fast = SloRule(name="fast", check=fast.check,
+                       severity="warning", fire_after=1)
+        monitor = HealthMonitor(registry, [slow, fast], fire_after=3)
+        slow_state["violated"] = fast_state["violated"] = True
+        transitions = monitor.evaluate()
+        assert [a.rule for a in transitions] == ["fast"]
+
+    def test_defaults_must_be_positive(self):
+        registry = fresh_registry()
+        with pytest.raises(ValueError):
+            HealthMonitor(registry, [], fire_after=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(registry, [], resolve_after=0)
+
+    def test_lifecycle_history_is_ordered_and_non_overlapping(self):
+        """Satellite acceptance: repeated fire -> resolve -> fire
+        cycles on one rule keep an ordered, non-overlapping history
+        with the cycles the hysteresis thresholds were crossed at."""
+        registry = fresh_registry()
+        rule, state = flag_rule()
+        monitor = HealthMonitor(registry, [rule],
+                                fire_after=2, resolve_after=2)
+        expected = []
+        for _ in range(3):
+            state["violated"] = True
+            for tick in range(2):       # fires on the second breach
+                self.advance(registry, 100)
+                monitor.evaluate()
+            expected.append({"fired_at": registry.env.now})
+            state["violated"] = False
+            for tick in range(2):       # resolves on the second clean
+                self.advance(registry, 100)
+                monitor.evaluate()
+            expected[-1]["resolved_at"] = registry.env.now
+
+        assert len(monitor.history) == 3
+        assert monitor.active == {}
+        for alert, want in zip(monitor.history, expected):
+            assert alert.state == STATE_RESOLVED
+            assert alert.fired_at == want["fired_at"]
+            assert alert.resolved_at == want["resolved_at"]
+            assert alert.fired_at < alert.resolved_at
+        # Ordered and non-overlapping: each incident resolves before
+        # the next one fires.
+        for earlier, later in zip(monitor.history,
+                                  monitor.history[1:]):
+            assert earlier.resolved_at <= later.fired_at
+        # The fourth incident, left firing, appends after all three.
+        state["violated"] = True
+        self.advance(registry, 100)
+        monitor.evaluate()
+        self.advance(registry, 100)
+        monitor.evaluate()
+        assert len(monitor.history) == 4
+        assert monitor.history[-1].state == STATE_FIRING
+        assert monitor.history[-1].fired_at >= \
+            monitor.history[-2].resolved_at
+
+    def test_subscribers_run_after_every_evaluation(self):
+        registry = fresh_registry()
+        rule, state = flag_rule()
+        monitor = HealthMonitor(registry, [rule])
+        seen = []
+        monitor.subscribe(
+            lambda mon, transitions: seen.append(
+                (mon is monitor, [a.state for a in transitions])))
+        monitor.evaluate()                   # quiet pass still notifies
+        state["violated"] = True
+        monitor.evaluate()
+        monitor.evaluate()                   # persistence, no transition
+        assert seen == [(True, []), (True, [STATE_FIRING]),
+                        (True, [])]
+
+
 class TestRuleFactories:
     def test_queue_saturation(self):
         registry = fresh_registry()

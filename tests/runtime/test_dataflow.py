@@ -121,3 +121,32 @@ class TestHelpers:
     def test_replicated_unsupported_shape(self):
         with pytest.raises(ValueError):
             replicated_stage("bad", ["p0", "p1"], ["c0", "c1", "c2"])
+
+
+class TestSubstitute:
+    """Device renaming: the structural rewrite behind resharding."""
+
+    def test_substitute_preserves_structure(self):
+        df = chain("c", ["a", "b", "c"])
+        out = df.substitute({"b": "b2"})
+        assert out.devices == ["a", "b2", "c"]
+        assert out.consumers_of("a") == ["b2"]
+        assert out.consumers_of("b2") == ["c"]
+        assert out.name == df.name
+        # The original is untouched.
+        assert df.devices == ["a", "b", "c"]
+
+    def test_substitute_unknown_device_rejected(self):
+        df = chain("c", ["a", "b"])
+        with pytest.raises(ValueError, match="not in dataflow"):
+            df.substitute({"z": "b2"})
+
+    def test_substitute_aliasing_rejected(self):
+        df = chain("c", ["a", "b"])
+        with pytest.raises(ValueError, match="aliases"):
+            df.substitute({"a": "b"})
+
+    def test_substituted_dataflow_still_validates_for_p2p(self):
+        df = replicated_stage("r", ["nv0", "nv1"], ["cl0"])
+        out = df.substitute({"nv1": "nv9", "cl0": "cl7"})
+        out.validate_for_p2p()

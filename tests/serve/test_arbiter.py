@@ -174,6 +174,82 @@ class TestFailureIntegration:
             arb.mark_available("z")
 
 
+class TestProbation:
+    def make(self, **kwargs):
+        env = Environment()
+        arb = TileArbiter(env, ("a", "b", "c"), **kwargs)
+        return env, arb
+
+    def advance(self, env, cycles):
+        env.run(until=env.timeout(cycles))
+
+    def test_probation_readmits_after_delay(self):
+        env, arb = self.make(probation_cycles=100)
+        arb.mark_unavailable("a")
+        assert arb.readmit_schedule == {"a": 100}
+        # Probation is checked lazily from acquire — before the delay
+        # the tile stays quarantined.
+        self.advance(env, 99)
+        arb.acquire({"b"})
+        assert "a" in arb.unavailable_tiles
+        self.advance(env, 1)
+        granted = arb.acquire({"a"})
+        assert granted.triggered and granted.ok
+        assert arb.readmissions == 1
+        assert arb.readmit_schedule == {}
+
+    def test_repeat_quarantine_backs_off_exponentially(self):
+        env, arb = self.make(probation_cycles=100,
+                             max_probation_cycles=400)
+        expected = [100, 200, 400, 400]   # doubled, then capped
+        for delay in expected:
+            start = env.now
+            arb.mark_unavailable("a")
+            assert arb.readmit_schedule["a"] == start + delay
+            self.advance(env, delay)
+            arb.acquire({"b"})            # any acquire runs the check
+            assert "a" not in arb.unavailable_tiles
+        assert arb.readmissions == len(expected)
+
+    def test_on_readmit_callback_fires_before_regrant(self):
+        env, arb = self.make(probation_cycles=50)
+        repaired = []
+        arb.on_readmit = repaired.append
+        arb.mark_unavailable("a")
+        self.advance(env, 50)
+        claim = arb.acquire({"a"})
+        assert claim.ok
+        assert repaired == ["a"]
+
+    def test_explicit_repair_keeps_the_backoff_count(self):
+        env, arb = self.make(probation_cycles=100)
+        arb.mark_unavailable("a")
+        arb.mark_available("a")           # explicit repair, no wait
+        assert arb.readmit_schedule == {}
+        # The tile already failed once: the next quarantine starts at
+        # the doubled delay, not back at the base.
+        arb.mark_unavailable("a")
+        assert arb.readmit_schedule["a"] == env.now + 200
+
+    def test_probation_opt_in_and_opt_out_per_call(self):
+        env, arb = self.make()                   # no probation default
+        arb.mark_unavailable("a", probation=True)
+        assert arb.readmit_schedule["a"] == env.now + 1
+        # probation=False forces the permanent hold even when the
+        # arbiter has a configured delay (the controller's reserve
+        # pool relies on this).
+        env2, arb2 = self.make(probation_cycles=100)
+        arb2.mark_unavailable("a", probation=False)
+        assert arb2.readmit_schedule == {}
+        self.advance(env2, 10_000)
+        arb2.acquire({"b"})
+        assert "a" in arb2.unavailable_tiles
+
+    def test_probation_validation(self):
+        with pytest.raises(ValueError, match="probation_cycles"):
+            self.make(probation_cycles=0)
+
+
 class TestProcessIntegration:
     def test_waiters_interleave_over_simulated_time(self):
         """Two processes contend for one tile across simulated time;

@@ -323,3 +323,99 @@ class TestPerRunStatistics:
         # Completions still accumulate on the server across runs;
         # only the queue-side statistics are per-run.
         assert len(second.completions) == 4
+
+
+class TestRemediationHooks:
+    """The control plane's server surface: reshard / widen / repair."""
+
+    def twin_tile_specs(self):
+        # a0/a1 share a kernel (reshard-compatible); b0 does not.
+        spec = make_spec(name="a")
+        return [("a0", spec), ("a1", spec),
+                ("b0", make_spec(name="b"))]
+
+    def make(self, **kwargs):
+        return make_server(specs=self.twin_tile_specs(), **kwargs)
+
+    def test_reshard_idle_tenant_applies_immediately(self):
+        runtime, server = self.make()
+        server.register(TenantConfig(name="app",
+                                     dataflow=chain("app", ["a0"])))
+        assert server.tenant_tiles() == {"app": frozenset({"a0"})}
+        assert server.reshard_tenant("app", {"a0": "a1"}) == "applied"
+        assert server.tenant_tiles() == {"app": frozenset({"a1"})}
+
+        frames = frames_of(2)
+        report = server.run_trace([TracedRequest(0, "app", frames)])
+        assert len(report.completions) == 1
+        np.testing.assert_array_equal(report.completions[0].outputs,
+                                      frames + 1.0)
+        assert runtime.soc.accelerators["a1"].invocations
+        assert not runtime.soc.accelerators["a0"].invocations
+
+    def test_reshard_mid_flight_defers_then_lands(self):
+        runtime, server = self.make()
+        server.register(TenantConfig(name="app",
+                                     dataflow=chain("app", ["a0"]),
+                                     max_batch_frames=1))
+        env = server.env
+        results = []
+
+        def resharder():
+            yield env.timeout(10)     # first batch is in flight now
+            results.append(server.reshard_tenant("app", {"a0": "a1"}))
+            # The *target* placement reports the pending swap.
+            results.append(server.tenant_tiles()["app"])
+
+        env.process(resharder(), name="resharder")
+        frames = frames_of(2)
+        report = server.run_trace([
+            TracedRequest(0, "app", frames[:1]),
+            TracedRequest(5_000, "app", frames[1:])])
+
+        assert results == ["deferred", frozenset({"a1"})]
+        assert len(report.completions) == 2
+        # First batch ran on a0; after the deferred swap landed, the
+        # second ran on a1.
+        assert len(runtime.soc.accelerators["a0"].invocations) == 1
+        assert len(runtime.soc.accelerators["a1"].invocations) == 1
+
+    def test_reshard_onto_different_kernel_rejected(self):
+        _, server = self.make()
+        server.register(TenantConfig(name="app",
+                                     dataflow=chain("app", ["a0"])))
+        with pytest.raises(ValueError, match="different kernels"):
+            server.reshard_tenant("app", {"a0": "b0"})
+        with pytest.raises(KeyError):
+            server.reshard_tenant("ghost", {"a0": "a1"})
+
+    def test_widen_batch_and_bound_accessor(self):
+        _, server = self.make()
+        server.register(TenantConfig(name="app",
+                                     dataflow=chain("app", ["a0"]),
+                                     max_batch_frames=4))
+        assert server.batch_bound("app") == 4
+        assert server.widen_batch("app", factor=2.0, cap=256) == 8
+        assert server.batch_bound("app") == 8
+        # Cap reached: the bound stops growing.
+        assert server.widen_batch("app", factor=2.0, cap=8) == 8
+
+    def test_widened_bound_survives_a_reshard(self):
+        _, server = self.make()
+        server.register(TenantConfig(name="app",
+                                     dataflow=chain("app", ["a0"]),
+                                     max_batch_frames=4))
+        server.widen_batch("app", factor=4.0)
+        server.reshard_tenant("app", {"a0": "a1"})
+        assert server.batch_bound("app") == 16
+
+    def test_repair_tile_clears_failure_and_forcing(self):
+        runtime, server = self.make(
+            recovery=RecoveryPolicy(watchdog_cycles=20_000))
+        registry = server.executor.registry
+        registry.mark_failed("a0")
+        server.executor.force_software("a1")
+        server.repair_tile("a0")
+        server.repair_tile("a1")
+        assert not registry.is_failed("a0")
+        assert "a1" not in server.executor.forced_software
