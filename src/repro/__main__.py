@@ -10,6 +10,10 @@ Usage::
     python -m repro timeline [--mode base|pipe|p2p] [--app KEY]
     python -m repro metrics-top [--interval CYCLES] [--requests N]
     python -m repro chaos [--smoke] [--seed N]
+    python -m repro fleet [--policy P] [--instances N] [--smoke]
+
+``python -m repro --help`` lists every subcommand with a one-line
+description; ``python -m repro <command> --help`` has the details.
 """
 
 from __future__ import annotations
@@ -164,28 +168,72 @@ def _cmd_chaos(args) -> None:
                          "beat local recovery alone")
 
 
+def _cmd_fleet(args) -> None:
+    """Run the fleet campaign: N SoC instances behind the router."""
+    from .eval.fleet import CAMPAIGN_POLICIES, run_fleet_campaign
+    policies = (CAMPAIGN_POLICIES if args.policy == "all"
+                else (args.policy,))
+    reports = run_fleet_campaign(policies=policies,
+                                 n_instances=args.instances,
+                                 seed=args.seed, smoke=args.smoke)
+    for index, report in enumerate(reports.values()):
+        if index:
+            print()
+        print(report.render())
+    if len(reports) > 1:
+        ranked = sorted(reports.items(),
+                        key=lambda kv: kv[1].latency.p99)
+        print()
+        print("fleet p99 by policy: " + ", ".join(
+            f"{policy}={report.latency.p99:,.0f} cycles"
+            for policy, report in ranked))
+
+
+#: One-line description per subcommand — single source for the
+#: ``--help`` listing (every entry must register a parser below).
+COMMANDS = {
+    "table1": "regenerate Table I (fps / power / DRAM per config)",
+    "fig7": "regenerate Fig. 7 (performance across configurations)",
+    "fig8": "regenerate Fig. 8 (memory-access reduction)",
+    "all": "regenerate Table I, Fig. 7 and Fig. 8 in one run",
+    "train": "train the paper's classifier and denoiser models",
+    "timeline": "render an execution Gantt chart for one app",
+    "metrics-top": "live metrics dashboard over a serving trace",
+    "chaos": "self-healing chaos campaign (controller on vs off)",
+    "fleet": "multi-instance fleet serving under overload, one run "
+             "per load-balancing policy",
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ESP4ML reproduction: regenerate the paper's "
-                    "tables and figures")
-    sub = parser.add_subparsers(dest="command", required=True)
+                    "tables and figures",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="run 'python -m repro COMMAND --help' for "
+               "command-specific options")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="COMMAND",
+                                title="commands")
 
     for name, fn in (("table1", _cmd_table1), ("fig7", _cmd_fig7),
                      ("fig8", _cmd_fig8), ("all", _cmd_all)):
-        p = sub.add_parser(name, help=f"regenerate {name}")
+        p = sub.add_parser(name, help=COMMANDS[name],
+                           description=COMMANDS[name])
         p.add_argument("--frames", type=int, default=32,
                        help="frames per measured run (default 32)")
         p.set_defaults(fn=fn)
 
-    p = sub.add_parser("train", help="train the paper's two models")
+    p = sub.add_parser("train", help=COMMANDS["train"],
+                       description=COMMANDS["train"])
     p.add_argument("--preset", choices=("fast", "full"), default="fast")
     p.add_argument("--force", action="store_true",
                    help="retrain even if cached")
     p.set_defaults(fn=_cmd_train)
 
-    p = sub.add_parser("timeline",
-                       help="render an execution Gantt chart")
+    p = sub.add_parser("timeline", help=COMMANDS["timeline"],
+                       description=COMMANDS["timeline"])
     p.add_argument("--app", default="4nv_4cl",
                    help="configuration key (default 4nv_4cl)")
     p.add_argument("--mode", choices=("base", "pipe", "p2p"),
@@ -193,9 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", type=int, default=8)
     p.set_defaults(fn=_cmd_timeline)
 
-    p = sub.add_parser("metrics-top",
-                       help="live metrics dashboard over a serving "
-                            "trace")
+    p = sub.add_parser("metrics-top", help=COMMANDS["metrics-top"],
+                       description=COMMANDS["metrics-top"])
     p.add_argument("--interval", type=int, default=10_000,
                    help="cycles between dashboard frames "
                         "(default 10000)")
@@ -208,14 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "self-healing control plane")
     p.set_defaults(fn=_cmd_metrics_top)
 
-    p = sub.add_parser("chaos",
-                       help="run the self-healing chaos campaign "
-                            "(controller on vs off)")
+    p = sub.add_parser("chaos", help=COMMANDS["chaos"],
+                       description=COMMANDS["chaos"])
     p.add_argument("--smoke", action="store_true",
                    help="two-scenario short-horizon variant")
     p.add_argument("--seed", type=int, default=0,
                    help="trace seed (default 0)")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("fleet", help=COMMANDS["fleet"],
+                       description=COMMANDS["fleet"])
+    p.add_argument("--policy", default="all",
+                   choices=("all", "round-robin", "least-loaded",
+                            "latency-aware"),
+                   help="load-balancing policy to run (default: all "
+                        "three, for comparison)")
+    p.add_argument("--instances", type=int, default=4,
+                   help="SoC instances in the fleet (default 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (default 0)")
+    p.add_argument("--smoke", action="store_true",
+                   help="short-horizon variant")
+    p.set_defaults(fn=_cmd_fleet)
     return parser
 
 

@@ -62,9 +62,11 @@ __all__ = [
     "ScenarioResult",
     "Span",
     "Table1Column",
+    "CAMPAIGN_POLICIES",
     "build_chaos_stack",
     "build_soc1",
     "build_soc2",
+    "build_standard_fleet",
     "campaign_policy",
     "chain3_dataflow",
     "chaos_scenarios",
@@ -89,10 +91,14 @@ __all__ = [
     "render_fig8",
     "render_table1",
     "render_gantt",
+    "overload_workload",
     "run_chaos_campaign",
     "run_fault_campaign",
+    "run_fleet_campaign",
     "run_scenario",
     "smoke_campaign",
+    "standard_inputs",
+    "standard_tenants",
     "collect_spans",
     "utilization_by_device",
 ]
@@ -112,10 +118,25 @@ _CHAOS_EXPORTS = frozenset({
     "run_scenario",
 })
 
+#: Fleet-campaign exports, lazy for the same reason: the campaign
+#: composes ``repro.fleet``, which reaches back into
+#: ``repro.eval.harness`` for latency summaries.
+_FLEET_EXPORTS = frozenset({
+    "CAMPAIGN_POLICIES",
+    "build_standard_fleet",
+    "overload_workload",
+    "run_fleet_campaign",
+    "standard_inputs",
+    "standard_tenants",
+})
+
 
 def __getattr__(name):
     if name in _CHAOS_EXPORTS:
         from . import chaos
         return getattr(chaos, name)
+    if name in _FLEET_EXPORTS:
+        from . import fleet
+        return getattr(fleet, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,270 @@
+"""The fleet coordinator: lockstep co-simulation of N SoC instances.
+
+Each :class:`FleetInstance` owns its own
+:class:`~repro.sim.Environment` — N independent event queues with N
+independent clocks. The coordinator composes them into one fleet-time
+simulation by *lockstep advancement*: arrivals are replayed in global
+cycle order, and before each arrival every instance is advanced to the
+arrival cycle. At that point all N clocks agree, so the router's load
+and latency reads are simultaneous snapshots — the property that makes
+least-loaded and latency-aware balancing meaningful.
+
+Why lockstep rather than merging everything into one ``Environment``:
+instances never exchange events (a request is submitted to exactly one
+SoC; nothing crosses chips mid-flight), so the only synchronization
+points are routing decisions. Between two arrivals, each instance's
+evolution is completely determined by its own state — advancing them
+one at a time to the same cycle is *exactly* equivalent to
+interleaving their event queues, with no cross-instance event-ordering
+ambiguity to resolve. It also keeps the single-SoC contract intact: an
+instance simulated through the fleet layer executes the identical
+event sequence it would alone, which is what pins single-instance
+fleet runs to the seed cycle counts.
+
+A consequence worth stating: with the same arrival trace, routing
+decisions and per-instance event sequences are fully deterministic —
+fleet runs are reproducible from (workload seed, policy, salt) alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval.harness import LatencySummary
+from ..serve import Rejection, ServerConfig, ServerReport, TenantConfig
+from .instance import FleetInstance
+from .router import FleetRouter, RouterDecision
+from .workload import Arrival
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run measured, cluster-wide."""
+
+    policy: str
+    clock_mhz: float
+    makespan_cycles: int
+    offered_requests: int
+    offered_frames: int
+    admitted: int
+    completed_requests: int
+    completed_frames: int
+    failed: int
+    #: Rejections with the instance that issued them (queue-full
+    #: backpressure under overload lands here).
+    rejections: List[Tuple[str, Rejection]]
+    per_instance: Dict[str, ServerReport]
+    decisions: List[RouterDecision]
+    #: Fleet-wide latency: per-instance samples pooled through
+    #: :meth:`LatencySummary.merge` (exact for raw samples).
+    latency: Optional[LatencySummary]
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.makespan_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def goodput_fps(self) -> float:
+        """Frames *completed* per second — offered load that actually
+        made it through, the overload-regime counterpart of
+        throughput."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.completed_frames / self.makespan_seconds
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.offered_requests == 0:
+            return 0.0
+        return len(self.rejections) / self.offered_requests
+
+    def rejections_by_reason(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for _, rejection in self.rejections:
+            out[rejection.reason] = out.get(rejection.reason, 0) + 1
+        return out
+
+    def rejections_by_instance(self) -> Dict[str, int]:
+        out = {name: 0 for name in self.per_instance}
+        for name, _ in self.rejections:
+            out[name] += 1
+        return out
+
+    def requests_by_instance(self) -> Dict[str, int]:
+        out = {name: 0 for name in self.per_instance}
+        for decision in self.decisions:
+            out[decision.instance] += 1
+        return out
+
+    def render(self) -> str:
+        us = 1.0 / self.clock_mhz
+        lines = [
+            f"== fleet report: policy={self.policy}, "
+            f"{len(self.per_instance)} instances ==",
+            f"offered {self.offered_requests} requests "
+            f"({self.offered_frames} frames) over "
+            f"{self.makespan_cycles:,} cycles "
+            f"({self.makespan_seconds * 1e3:.2f} ms)",
+            f"completed {self.completed_requests} requests "
+            f"({self.completed_frames} frames), goodput "
+            f"{self.goodput_fps:.1f} frames/s; rejected "
+            f"{len(self.rejections)} "
+            f"({100 * self.rejection_rate:.1f}%), failed {self.failed}",
+        ]
+        if self.latency is not None:
+            scaled = self.latency.scaled(us)
+            lines.append(
+                f"fleet latency: p50 {scaled.p50:.1f} us, "
+                f"p95 {scaled.p95:.1f} us, p99 {scaled.p99:.1f} us, "
+                f"max {scaled.max:.1f} us")
+        routed = self.requests_by_instance()
+        rejected = self.rejections_by_instance()
+        lines.append(f"{'instance':<10}{'routed':>8}{'served':>8}"
+                     f"{'rejected':>10}{'p99 us':>10}")
+        for name in sorted(self.per_instance):
+            report = self.per_instance[name]
+            summary = report.latency_summary()
+            p99 = f"{summary.p99 * us:.1f}" if summary else "-"
+            lines.append(
+                f"{name:<10}{routed.get(name, 0):>8}"
+                f"{len(report.completions):>8}"
+                f"{rejected.get(name, 0):>10}{p99:>10}")
+        reasons = self.rejections_by_reason()
+        if reasons:
+            breakdown = ", ".join(f"{reason}={count}" for reason, count
+                                  in sorted(reasons.items()))
+            lines.append(f"rejection breakdown: {breakdown}")
+        return "\n".join(lines)
+
+
+class Fleet:
+    """N instances + a router, driven in lockstep over a workload."""
+
+    def __init__(self, instances: Sequence[FleetInstance],
+                 router: FleetRouter) -> None:
+        if not instances:
+            raise ValueError("a fleet needs at least one instance")
+        self.instances = list(instances)
+        self.router = router
+
+    @property
+    def names(self) -> List[str]:
+        return [instance.name for instance in self.instances]
+
+    def run(self, arrivals: Sequence[Arrival],
+            inputs: Dict[str, np.ndarray]) -> FleetReport:
+        """Drive one arrival trace through the fleet to quiescence.
+
+        ``inputs`` maps each tenant to a pool of input frames; an
+        arrival of ``n_frames`` takes the next ``n_frames`` rows
+        (wrapping), so frame payloads are deterministic and
+        policy-independent — two policies compared on the same trace
+        see byte-identical requests.
+
+        The loop: advance every instance to the arrival cycle, let the
+        router observe fresh completions, route, submit. After the
+        last arrival all instances drain and are aligned to one final
+        cycle, so the makespan is a fleet-wide quantity.
+        """
+        for instance in self.instances:
+            instance.start()
+            instance.server.queue.reset_stats()
+        origins = {instance.name: instance.now
+                   for instance in self.instances}
+        cursors = {tenant: 0 for tenant in inputs}
+        rejections: List[Tuple[str, Rejection]] = []
+        offered_frames = 0
+        decisions_before = len(self.router.decisions)
+
+        ordered = sorted(arrivals, key=lambda a: a.at)
+        for arrival in ordered:
+            for instance in self.instances:
+                instance.advance_to(origins[instance.name] + arrival.at)
+            self.router.observe()
+            instance = self.router.route(arrival.tenant, at=arrival.at)
+            frames = self._take_frames(inputs, cursors, arrival)
+            offered_frames += arrival.n_frames
+            rejection = instance.submit(arrival.tenant, frames,
+                                        priority=arrival.priority)
+            if rejection is not None:
+                rejections.append((instance.name, rejection))
+
+        for instance in self.instances:
+            instance.drain()
+        # Align the fleet on one final cycle (idle instances age too).
+        final = max(instance.now - origins[instance.name]
+                    for instance in self.instances)
+        for instance in self.instances:
+            instance.advance_to(origins[instance.name] + final)
+        self.router.observe()
+
+        reports = {
+            instance.name: instance.report(makespan_cycles=final)
+            for instance in self.instances}
+        samples = [
+            [c.latency_cycles for c in report.completions]
+            for report in reports.values() if report.completions]
+        completed = sum(len(r.completions) for r in reports.values())
+        return FleetReport(
+            policy=self.router.policy,
+            clock_mhz=self.instances[0].soc.clock_mhz,
+            makespan_cycles=final,
+            offered_requests=len(ordered),
+            offered_frames=offered_frames,
+            admitted=sum(r.admitted for r in reports.values()),
+            completed_requests=completed,
+            completed_frames=sum(r.completed_frames
+                                 for r in reports.values()),
+            failed=sum(len(r.failures) for r in reports.values()),
+            rejections=rejections,
+            per_instance=reports,
+            decisions=self.router.decisions[decisions_before:],
+            latency=(LatencySummary.merge(samples) if samples else None),
+        )
+
+    @staticmethod
+    def _take_frames(inputs: Dict[str, np.ndarray],
+                     cursors: Dict[str, int],
+                     arrival: Arrival) -> np.ndarray:
+        pool = inputs[arrival.tenant]
+        cursor = cursors[arrival.tenant]
+        rows = [(cursor + k) % len(pool) for k in range(arrival.n_frames)]
+        cursors[arrival.tenant] = (cursor + arrival.n_frames) % len(pool)
+        return pool[rows]
+
+    def __repr__(self) -> str:
+        return (f"<Fleet {len(self.instances)} instances, "
+                f"router={self.router!r}>")
+
+
+def build_fleet(n_instances: int,
+                soc_builder: Callable[[], object],
+                tenant_factory: Callable[[], Sequence[TenantConfig]],
+                policy: str = "round-robin",
+                replicas: Optional[int] = None,
+                server_config: Optional[ServerConfig] = None,
+                recovery=None,
+                salt: int = 0,
+                metrics: bool = False) -> Fleet:
+    """Stand up a homogeneous fleet: N replicas of one SoC + tenants.
+
+    ``tenant_factory`` is called once per instance so each server gets
+    its own :class:`TenantConfig` objects (dataflows are shared-naming
+    but per-instance state lives in the server). ``metrics=True``
+    attaches one namespaced registry per instance (``i0``, ``i1``,
+    ...), ready for :func:`repro.metrics.merge_snapshots`.
+    """
+    if n_instances < 1:
+        raise ValueError("n_instances must be >= 1")
+    instances = [
+        FleetInstance.build(
+            f"i{index}", soc_builder, tenant_factory(),
+            server_config=server_config, recovery=recovery,
+            metrics_namespace=f"i{index}" if metrics else None)
+        for index in range(n_instances)]
+    router = FleetRouter(instances, policy=policy, replicas=replicas,
+                         salt=salt)
+    return Fleet(instances, router)

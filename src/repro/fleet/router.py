@@ -1,0 +1,196 @@
+"""The fleet front door: tenant sharding + load-balancing policies.
+
+A request names a tenant; the router decides which SoC instance runs
+it, in two stages:
+
+1. **Sharding (placement).** Each tenant is pinned to a *shard* — a
+   fixed subset of ``replicas`` instances chosen by rendezvous
+   (highest-random-weight) hashing. Placement is *consistent*: it
+   depends only on (tenant, instance name, salt), so adding or
+   removing an instance moves only the tenants whose top-weight set
+   changed (~``replicas/N`` of them), never reshuffles the rest. The
+   shard is the tenant's *affinity set*: model state, quantized
+   parameter caches and batch coalescing all benefit from a tenant
+   revisiting the same few instances instead of spraying the fleet.
+
+2. **Balancing (selection).** Within the shard, one of three policies
+   picks the instance:
+
+   - ``round-robin`` — per-tenant rotation, no feedback. The
+     baseline: deterministic, stateless, and blind to load.
+   - ``least-loaded`` — the instance whose server reports the
+     smallest estimated backlog (queued + in-flight frames weighted
+     by each tenant's ``est_cycles_per_frame``), read live from
+     :meth:`repro.serve.InferenceServer.load` — the fleet analogue of
+     queue-depth-based dispatch.
+   - ``latency-aware`` — the instance with the lowest exponentially
+     weighted moving average of *recently completed* request
+     latencies, fed by :meth:`FleetInstance.poll_completions` after
+     every lockstep advance. Instances with no signal yet score 0, so
+     cold replicas are explored first and the estimator self-corrects.
+
+Ties break on shard order (and shard order is itself deterministic),
+so routing is a pure function of (arrival sequence, completions seen)
+— two runs with the same seed produce identical decision logs, which
+the tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .instance import FleetInstance
+
+#: Selection policies within a tenant's shard.
+ROUTER_POLICIES = ("round-robin", "least-loaded", "latency-aware")
+
+
+def _weight(salt: int, tenant: str, instance: str) -> int:
+    """Stable rendezvous weight of (tenant, instance).
+
+    md5 of the joint key — *not* Python's builtin ``hash``, which is
+    salted per process and would make placement differ across runs.
+    """
+    key = f"{salt}|{tenant}|{instance}".encode()
+    return int.from_bytes(hashlib.md5(key).digest()[:8], "big")
+
+
+def shard_tenant(tenant: str, instance_names: Sequence[str],
+                 replicas: int, salt: int = 0) -> Tuple[str, ...]:
+    """The ``replicas`` instances owning ``tenant``, by rendezvous hash.
+
+    Highest-random-weight placement: every (tenant, instance) pair
+    gets a deterministic pseudo-random weight; the tenant lands on the
+    ``replicas`` heaviest instances. Consistency follows from the
+    weights being independent per pair — removing an instance only
+    promotes the next-heaviest, and adding one only claims the pairs
+    where it is heaviest.
+    """
+    if not 1 <= replicas <= len(instance_names):
+        raise ValueError(
+            f"replicas must be in [1, {len(instance_names)}], "
+            f"got {replicas}")
+    ranked = sorted(instance_names,
+                    key=lambda name: (-_weight(salt, tenant, name), name))
+    return tuple(ranked[:replicas])
+
+
+@dataclass(frozen=True)
+class RouterDecision:
+    """One routing decision, for audit and determinism tests."""
+
+    at: int               # fleet cycle of the arrival
+    tenant: str
+    instance: str         # chosen instance name
+    policy: str
+    shard: Tuple[str, ...]
+    #: Policy-specific score of the winner (rotation index, estimated
+    #: backlog cycles, or EWMA latency).
+    score: float
+
+
+class FleetRouter:
+    """Routes tenant requests onto a fixed set of instances."""
+
+    def __init__(self, instances: Sequence[FleetInstance],
+                 policy: str = "round-robin",
+                 replicas: Optional[int] = None,
+                 salt: int = 0,
+                 ewma_alpha: float = 0.25) -> None:
+        if not instances:
+            raise ValueError("a fleet needs at least one instance")
+        if policy not in ROUTER_POLICIES:
+            raise ValueError(f"policy must be one of {ROUTER_POLICIES}, "
+                             f"got {policy!r}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], "
+                             f"got {ewma_alpha}")
+        names = [instance.name for instance in instances]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate instance names: {names}")
+        self.instances = list(instances)
+        self.policy = policy
+        self.replicas = len(instances) if replicas is None else replicas
+        if not 1 <= self.replicas <= len(instances):
+            raise ValueError(
+                f"replicas must be in [1, {len(instances)}], "
+                f"got {self.replicas}")
+        self.salt = salt
+        self.ewma_alpha = ewma_alpha
+        self._by_name: Dict[str, FleetInstance] = {
+            instance.name: instance for instance in self.instances}
+        self._shards: Dict[str, Tuple[str, ...]] = {}
+        self._rotation: Dict[str, int] = {}
+        #: Per-instance EWMA of completed-request latency (cycles);
+        #: ``None`` until the first completion is observed.
+        self._ewma: Dict[str, Optional[float]] = {
+            name: None for name in names}
+        self.decisions: List[RouterDecision] = []
+
+    # -- sharding -----------------------------------------------------------
+
+    def shard(self, tenant: str) -> Tuple[str, ...]:
+        """The tenant's affinity set (cached rendezvous placement)."""
+        placed = self._shards.get(tenant)
+        if placed is None:
+            placed = shard_tenant(
+                tenant, [i.name for i in self.instances],
+                self.replicas, salt=self.salt)
+            self._shards[tenant] = placed
+        return placed
+
+    # -- feedback -----------------------------------------------------------
+
+    def observe(self) -> None:
+        """Fold fresh completions into the per-instance latency EWMAs.
+
+        The coordinator calls this after every lockstep advance, so
+        the latency-aware policy sees each completion exactly once, in
+        deterministic (instance order, completion order) sequence.
+        """
+        alpha = self.ewma_alpha
+        for instance in self.instances:
+            for completion in instance.poll_completions():
+                latency = float(completion.latency_cycles)
+                previous = self._ewma[instance.name]
+                self._ewma[instance.name] = latency if previous is None \
+                    else alpha * latency + (1.0 - alpha) * previous
+
+    def ewma_latency(self, instance: str) -> Optional[float]:
+        """The instance's current latency estimate (None = no signal)."""
+        return self._ewma[instance]
+
+    # -- selection ----------------------------------------------------------
+
+    def route(self, tenant: str, at: int = 0) -> FleetInstance:
+        """Pick the instance for one arrival and log the decision."""
+        shard = self.shard(tenant)
+        if self.policy == "round-robin":
+            index = self._rotation.get(tenant, 0)
+            self._rotation[tenant] = index + 1
+            name = shard[index % len(shard)]
+            score = float(index % len(shard))
+        elif self.policy == "least-loaded":
+            name, score = min(
+                ((candidate,
+                  float(self._by_name[candidate]
+                        .load().est_backlog_cycles))
+                 for candidate in shard),
+                key=lambda pair: (pair[1], shard.index(pair[0])))
+        else:   # latency-aware
+            name, score = min(
+                ((candidate, self._ewma[candidate] or 0.0)
+                 for candidate in shard),
+                key=lambda pair: (pair[1], shard.index(pair[0])))
+        self.decisions.append(RouterDecision(
+            at=at, tenant=tenant, instance=name, policy=self.policy,
+            shard=shard, score=score))
+        return self._by_name[name]
+
+    def __repr__(self) -> str:
+        return (f"<FleetRouter {self.policy!r} over "
+                f"{len(self.instances)} instances, "
+                f"replicas={self.replicas}, "
+                f"{len(self.decisions)} decisions>")

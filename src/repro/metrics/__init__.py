@@ -41,6 +41,7 @@ from .collect import (
     register_soc_collectors,
 )
 from .export import (
+    merge_snapshots,
     parse_exposition,
     snapshot,
     to_prometheus,
@@ -89,6 +90,7 @@ __all__ = [
     "latency_burn_rule",
     "latency_slo_rule",
     "link_congestion_rule",
+    "merge_snapshots",
     "parse_exposition",
     "queue_saturation_rule",
     "register_server_collectors",

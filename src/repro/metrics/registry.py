@@ -278,8 +278,22 @@ class MetricsRegistry:
     state; they must never schedule simulation events.
     """
 
-    def __init__(self, env) -> None:
+    def __init__(self, env, namespace: Optional[str] = None) -> None:
+        if namespace is not None and (not _LABEL_RE.match(namespace)
+                                      or namespace.startswith("__")):
+            raise MetricsError(f"invalid namespace {namespace!r}")
         self.env = env
+        #: Optional per-registry prefix applied to every family name.
+        #: A fleet attaches one registry per SoC instance; without a
+        #: namespace, scraping N instances into one snapshot would
+        #: silently collide identical series (``serve_admitted_total``
+        #: from instance 0 vs instance 3 are different totals). With
+        #: ``namespace="i3"`` the family is ``i3_serve_admitted_total``
+        #: — distinct by construction, and ``merge_snapshots`` /
+        #: :func:`~repro.metrics.export.to_prometheus` need no
+        #: dedup logic. Hot sites are unaffected: they record through
+        #: the pre-created attribute families, whatever their names.
+        self.namespace = namespace
         self._families: Dict[str, MetricFamily] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
 
@@ -374,6 +388,13 @@ class MetricsRegistry:
 
     # -- family creation ---------------------------------------------------
 
+    def qualify(self, name: str) -> str:
+        """``name`` with this registry's namespace prefix applied."""
+        if self.namespace is None or name.startswith(
+                f"{self.namespace}_"):
+            return name
+        return f"{self.namespace}_{name}"
+
     def _register(self, family: MetricFamily) -> MetricFamily:
         existing = self._families.get(family.name)
         if existing is not None:
@@ -390,22 +411,27 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "",
                 labels: Sequence[str] = ()) -> Counter:
         """Get or create a counter family (idempotent)."""
-        return self._register(Counter(name, help, labels))
+        return self._register(Counter(self.qualify(name), help, labels))
 
     def gauge(self, name: str, help: str = "",
               labels: Sequence[str] = ()) -> Gauge:
         """Get or create a gauge family (idempotent)."""
-        return self._register(Gauge(name, help, labels))
+        return self._register(Gauge(self.qualify(name), help, labels))
 
     def histogram(self, name: str, help: str = "",
                   labels: Sequence[str] = (),
                   buckets: Sequence[int] = CYCLE_BUCKETS) -> Histogram:
         """Get or create a histogram family (idempotent)."""
-        return self._register(Histogram(name, help, labels,
+        return self._register(Histogram(self.qualify(name), help, labels,
                                         buckets=buckets))
 
     def get(self, name: str) -> MetricFamily:
+        """Look up a family by name; the bare (un-namespaced) name
+        works too, so callers written against the standard schema
+        (SLO rules, dashboards) run unchanged on namespaced registries."""
         family = self._families.get(name)
+        if family is None:
+            family = self._families.get(self.qualify(name))
         if family is None:
             raise KeyError(f"no metric named {name!r}; families: "
                            f"{sorted(self._families)}")
@@ -527,16 +553,29 @@ def _environment_of(target):
     return env if env is not None else target
 
 
-def attach_metrics(target) -> MetricsRegistry:
+def attach_metrics(target,
+                   namespace: Optional[str] = None) -> MetricsRegistry:
     """Create a :class:`MetricsRegistry` and attach it to the environment.
 
     ``target`` may be an :class:`~repro.sim.Environment` or anything
     carrying one as ``.env`` (a SoC instance, a runtime, a server).
-    Idempotent: an already-attached registry is returned unchanged.
+    ``namespace`` prefixes every family name — required when scraping
+    several environments (a fleet of SoC instances) into one snapshot,
+    since identical names from different registries would otherwise
+    collide. Idempotent: an already-attached registry is returned
+    unchanged (asking for a *different* namespace than the attached
+    one is a :class:`MetricsError`, not a silent re-label).
     """
     env = _environment_of(target)
-    if getattr(env, "metrics", None) is None:
-        env.metrics = MetricsRegistry(env)
+    existing = getattr(env, "metrics", None)
+    if existing is not None:
+        if namespace is not None and existing.namespace != namespace:
+            raise MetricsError(
+                f"environment already has a registry with namespace "
+                f"{existing.namespace!r}; refusing to re-attach as "
+                f"{namespace!r}")
+        return existing
+    env.metrics = MetricsRegistry(env, namespace=namespace)
     return env.metrics
 
 

@@ -26,6 +26,7 @@ from .request import (
 from .server import (
     InferenceServer,
     ServerConfig,
+    ServerLoad,
     ServerReport,
     TenantConfig,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "Rejection",
     "RequestQueue",
     "ServerConfig",
+    "ServerLoad",
     "ServerReport",
     "TenantConfig",
     "TileArbiter",

@@ -76,6 +76,17 @@ class RequestQueue:
     def tenant_depth(self, tenant: str) -> int:
         return len(self._queues[tenant])
 
+    def tenant_backlog(self, tenant: str) -> tuple:
+        """``(requests, frames)`` queued for one tenant.
+
+        Frames are what the hardware will actually run, so a router
+        comparing backlogs sees two one-frame requests as lighter than
+        one eight-frame request. O(queued requests) — introspection,
+        not a hot path.
+        """
+        queue = self._queues[tenant]
+        return len(queue), sum(r.n_frames for r in queue)
+
     # -- admission ----------------------------------------------------------
 
     def submit(self, request: InferenceRequest,

@@ -97,8 +97,36 @@ class _Tenant:
     #: True while a batch is between drain and release: a reshard
     #: arriving then is deferred to the next loop iteration.
     in_flight: bool = False
+    #: Frames of the batch currently in flight (0 between batches) —
+    #: the router's view of work already committed to the hardware.
+    in_flight_frames: int = 0
     pending_reshard: Optional[TenantConfig] = None
     reshards: int = 0
+
+
+@dataclass(frozen=True)
+class ServerLoad:
+    """One server's scheduler-visible load, at one instant.
+
+    The introspection surface a fleet router balances on: what is
+    queued (admitted but not yet drained into a batch), what is in
+    flight (drained, tiles held, hardware busy), and a cycle-valued
+    backlog estimate combining both through each tenant's
+    ``est_cycles_per_frame`` pipeline estimate. Reading it never
+    schedules events — it is a pure snapshot, usable mid-simulation.
+    """
+
+    queued_requests: int
+    queued_frames: int
+    in_flight_batches: int
+    in_flight_frames: int
+    #: Estimated cycles to drain everything queued plus in flight.
+    est_backlog_cycles: int
+
+    @property
+    def outstanding_frames(self) -> int:
+        """Queued + in-flight frames (the least-loaded score)."""
+        return self.queued_frames + self.in_flight_frames
 
 
 @dataclass
@@ -256,6 +284,48 @@ class InferenceServer:
     def batch_bound(self, name: str) -> int:
         """A tenant's current ``max_batch_frames`` (widening included)."""
         return self._tenants[name].batcher.max_batch_frames
+
+    # -- load introspection (the fleet router's view) -------------------------
+
+    def load(self) -> ServerLoad:
+        """Snapshot this server's queued + in-flight load.
+
+        Pure read — no events, no clock movement — so a router may
+        call it between lockstep advances without perturbing the sim.
+        """
+        queued_requests = 0
+        queued_frames = 0
+        in_flight_batches = 0
+        in_flight_frames = 0
+        backlog = 0
+        for name, tenant in self._tenants.items():
+            requests, frames = self.queue.tenant_backlog(name)
+            queued_requests += requests
+            queued_frames += frames
+            backlog += frames * tenant.est_cycles_per_frame
+            if tenant.in_flight:
+                in_flight_batches += 1
+                in_flight_frames += tenant.in_flight_frames
+                backlog += (tenant.in_flight_frames
+                            * tenant.est_cycles_per_frame)
+        return ServerLoad(
+            queued_requests=queued_requests,
+            queued_frames=queued_frames,
+            in_flight_batches=in_flight_batches,
+            in_flight_frames=in_flight_frames,
+            est_backlog_cycles=backlog,
+        )
+
+    @property
+    def terminal_count(self) -> int:
+        """Requests that reached a terminal state (completed, failed,
+        or rejected after admission) since boot."""
+        return self._terminal.value
+
+    def wait_terminal(self, threshold: int):
+        """Event triggering once ``terminal_count`` reaches ``threshold``
+        (the fleet coordinator's drain barrier)."""
+        return self._terminal.wait_until(threshold)
 
     # -- remediation hooks (driven by the control plane) ----------------------
 
@@ -428,10 +498,12 @@ class InferenceServer:
                 env.tracer.instant("serve", f"tenant:{name}", "batch",
                                    "serve.batch", requests=len(requests))
             batch = tenant.batcher.form(requests)
+            tenant.in_flight_frames = batch.total_frames
             granted = yield from self._acquire_tiles(tenant, batch)
             if granted:
                 yield from self._dispatch(tenant, batch)
             tenant.in_flight = False
+            tenant.in_flight_frames = 0
 
     def _acquire_tiles(self, tenant: _Tenant, batch: Batch):
         """All-or-nothing grant of the tenant's tile set.

@@ -43,3 +43,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "frames/s" in out
         assert "#" in out
+
+
+class TestHelp:
+    def test_help_enumerates_every_command(self):
+        """--help lists each subcommand with its one-line description
+        (the COMMANDS table is the single source of truth)."""
+        from repro.__main__ import COMMANDS
+
+        text = build_parser().format_help()
+        for name, description in COMMANDS.items():
+            assert name in text
+            # The first few words of each description survive
+            # argparse's line wrapping.
+            assert " ".join(description.split()[:3]) in text
+
+    def test_commands_table_matches_registered_parsers(self):
+        from repro.__main__ import COMMANDS
+
+        parser = build_parser()
+        action = next(a for a in parser._actions if a.choices)
+        assert set(COMMANDS) == set(action.choices)
+
+
+class TestFleetCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.policy == "all"
+        assert args.instances == 4
+        assert args.seed == 0 and not args.smoke
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "random"])
+
+    def test_single_policy_run(self, capsys):
+        assert main(["fleet", "--smoke", "--policy", "round-robin",
+                     "--instances", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=round-robin" in out
+        assert "rejection breakdown" in out

@@ -225,3 +225,73 @@ class TestSampler:
         registry = fresh_registry()
         with pytest.raises(ValueError):
             MetricsSampler(registry, interval=0, callbacks=[])
+
+
+class TestNamespace:
+    """Per-instance namespacing for fleet-style multi-registry scrapes."""
+
+    def test_families_are_prefixed(self):
+        registry = MetricsRegistry(Environment(), namespace="i3")
+        counter = registry.counter("fleet_test_total", "a")
+        counter.labels().inc()
+        assert registry.qualify("fleet_test_total") \
+            == "i3_fleet_test_total"
+        names = [f["name"] for f in registry.snapshot()["families"]]
+        assert "i3_fleet_test_total" in names
+        # The pre-registered schema families are namespaced too.
+        assert all(name.startswith("i3_") for name in names)
+
+    def test_qualify_is_idempotent(self):
+        registry = MetricsRegistry(Environment(), namespace="i0")
+        assert registry.qualify("i0_latency_cycles") \
+            == "i0_latency_cycles"
+
+    def test_get_falls_back_to_qualified_name(self):
+        """SLO rules and dashboards use bare schema names; they must
+        keep resolving on a namespaced registry."""
+        registry = MetricsRegistry(Environment(), namespace="i1")
+        registry.gauge("queue_depth", "q")
+        assert registry.get("queue_depth").name == "i1_queue_depth"
+        assert registry.get("i1_queue_depth").name == "i1_queue_depth"
+
+    def test_invalid_namespace_rejected(self):
+        for bad in ("3i", "a-b", "__x", ""):
+            with pytest.raises(MetricsError):
+                MetricsRegistry(Environment(), namespace=bad)
+
+    def test_reattach_with_other_namespace_rejected(self):
+        env = Environment()
+        attach_metrics(env, namespace="i0")
+        with pytest.raises(MetricsError):
+            attach_metrics(env, namespace="i1")
+        detach_metrics(env)
+
+    def test_unnamespaced_snapshots_collide_on_merge(self):
+        """The regression the namespace option exists for: N identical
+        servers scraped into one snapshot must fail loudly, not
+        silently drop or double-count a series."""
+        from repro.metrics import merge_snapshots
+
+        snapshots = []
+        for _ in range(2):
+            registry = fresh_registry()
+            registry.counter("fleet_test_total", "a").labels().inc()
+            snapshots.append(registry.snapshot())
+        with pytest.raises(MetricsError, match="appears in snapshot"):
+            merge_snapshots(snapshots)
+
+    def test_namespaced_snapshots_merge_cleanly(self):
+        from repro.metrics import merge_snapshots
+
+        snapshots = []
+        for index in range(2):
+            registry = MetricsRegistry(Environment(),
+                                       namespace=f"i{index}")
+            registry.counter("fleet_test_total", "a") \
+                .labels().inc(index + 1)
+            snapshots.append(registry.snapshot())
+        merged = merge_snapshots(snapshots)
+        names = [f["name"] for f in merged["families"]]
+        assert len(names) == len(set(names))
+        assert "i0_fleet_test_total" in names
+        assert "i1_fleet_test_total" in names
