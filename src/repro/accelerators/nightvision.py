@@ -28,13 +28,20 @@ HISTOGRAM_BINS = 64
 
 def noise_filter_kernel(frame: np.ndarray,
                         fmt: FixedFormat = DEFAULT_FORMAT) -> np.ndarray:
-    """3x3 median filter with edge replication (salt-and-pepper removal)."""
+    """3x3 median filter with edge replication (salt-and-pepper removal).
+
+    The median of 9 values is their 5th order statistic, so a single
+    ``np.partition`` at index 4 over the window axis replaces the
+    9-slice stack + full ``np.median`` of the original implementation —
+    same value for every window (``np.median`` of an odd count *is*
+    the middle order statistic), at about a third of the cost.
+    """
     img = np.asarray(frame, dtype=np.float64).reshape(FRAME_SIDE, FRAME_SIDE)
     padded = np.pad(img, 1, mode="edge")
-    stack = np.stack([padded[r:r + FRAME_SIDE, c:c + FRAME_SIDE]
-                      for r in range(3) for c in range(3)])
-    filtered = np.median(stack, axis=0)
-    return fmt.quantize(filtered.reshape(-1))
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (3, 3))
+    flat = windows.reshape(FRAME_PIXELS, 9)
+    filtered = np.partition(flat, 4, axis=1)[:, 4]
+    return fmt.quantize(filtered)
 
 
 def histogram_kernel(frame: np.ndarray,
@@ -42,9 +49,9 @@ def histogram_kernel(frame: np.ndarray,
     """Intensity histogram over [0, 1] with ``bins`` buckets."""
     frame = np.asarray(frame, dtype=np.float64).reshape(-1)
     idx = np.clip((frame * bins).astype(np.int64), 0, bins - 1)
-    hist = np.zeros(bins, dtype=np.float64)
-    np.add.at(hist, idx, 1.0)
-    return hist
+    # bincount produces the same exact integer counts as the original
+    # np.add.at scatter, without its per-element buffered loop.
+    return np.bincount(idx, minlength=bins).astype(np.float64)
 
 
 def histogram_equalization_kernel(frame: np.ndarray, hist: np.ndarray,

@@ -62,39 +62,64 @@ class LatencySummary:
         """Summary from a metrics ``HistogramSeries`` (bucketed sample).
 
         A live histogram keeps bucket counts, not the raw sample, so
-        percentiles are estimated by linear interpolation inside the
-        bucket that contains the target rank (assuming observations
-        spread uniformly across the bucket's ``(lo, hi]`` span).
+        percentiles are estimated: the target is the same *observation
+        position* :func:`percentile` interpolates on a raw sample
+        (numpy's linear convention, ``(count - 1) * q / 100``), each
+        neighbouring order statistic is estimated by assuming
+        observations spread uniformly across its bucket's ``(lo, hi]``
+        span, and the two are blended with the position's fractional
+        part.
 
-        Error bound: an estimate can be off by at most one bucket
-        width, i.e. it always lands inside the true value's bucket.
-        With the default power-of-two bounds, the estimate is within a
-        factor of 2 of the true percentile — and in practice much
-        closer when the bucket is well-populated. The mean (``sum``
-        and ``count`` are exact) and the max (tracked per observation)
-        carry no bucketing error. A percentile whose rank falls in the
-        overflow (``+Inf``) bucket clamps to the observed max.
+        Sharing :func:`percentile`'s rank convention matters at exact
+        boundaries: under the previous ``q / 100 * count`` rank, a
+        rank landing exactly on a cumulative-count boundary returned
+        the bucket's upper edge while the true (interpolated)
+        percentile lay partway toward the *next populated* bucket —
+        across empty buckets, that error was unbounded by any single
+        bucket width. Now each side of the interpolation lands inside
+        the bucket of the order statistic it estimates, so the error
+        bound is honest: at most the wider of the two neighbouring
+        buckets' widths (a factor of 2 for the default power-of-two
+        bounds), one bucket width when both neighbours share a bucket.
+        The mean (``sum`` and ``count`` are exact) and the max
+        (tracked per observation) carry no bucketing error. An order
+        statistic that falls in the overflow (``+Inf``) bucket clamps
+        to the observed max. Adversarial layouts — exact boundaries,
+        single populated buckets, runs of empty buckets — are pinned
+        against :func:`percentile` in ``tests/eval/test_harness.py``.
         """
         if series.count == 0:
             raise ValueError("from_histogram of an empty histogram")
 
-        def estimate(q: float) -> float:
-            rank = q / 100.0 * series.count
+        def order_stat(k: int) -> float:
+            # Estimated k-th smallest observation (0-indexed), uniform
+            # spread inside its bucket. Empty buckets are skipped
+            # before `previous` is read, so cumulative bookkeeping only
+            # ever advances on populated buckets.
             cumulative = 0
             for index, count in enumerate(series.counts):
                 if count == 0:
                     continue
                 previous = cumulative
                 cumulative += count
-                if cumulative >= rank:
+                if cumulative > k:
                     if index >= len(series.bounds):
                         return float(series.max)
                     lo = series.bounds[index - 1] if index else 0
                     hi = series.bounds[index]
-                    fraction = (rank - previous) / count
-                    return float(min(lo + (hi - lo) * fraction,
+                    within = (k - previous + 1) / count
+                    return float(min(lo + (hi - lo) * within,
                                      series.max))
             return float(series.max)
+
+        def estimate(q: float) -> float:
+            position = (series.count - 1) * q / 100.0
+            floor_rank = int(position)
+            fraction = position - floor_rank
+            value = order_stat(floor_rank)
+            if fraction:
+                value += fraction * (order_stat(floor_rank + 1) - value)
+            return float(min(value, series.max))
 
         return cls(
             count=series.count,
@@ -124,10 +149,11 @@ class LatencySummary:
           one bucket layout; raw parts are bucketed into it, the
           per-bucket counts are summed, and percentiles are
           interpolated as in :meth:`from_histogram`. Error bound:
-          same as ``from_histogram`` — an estimate lands inside the
-          true value's bucket (within one bucket width; within 2x for
-          the default power-of-two bounds). ``count``, ``mean`` and
-          ``max`` stay exact in both cases.
+          same as ``from_histogram`` — each interpolation endpoint
+          lands inside its order statistic's bucket (at most the wider
+          neighbouring bucket's width; within 2x for the default
+          power-of-two bounds). ``count``, ``mean`` and ``max`` stay
+          exact in both cases.
         """
         parts = list(parts)
         if not parts:

@@ -93,8 +93,22 @@ class FleetInstance:
 
         The lockstep primitive: processes every event due at or before
         ``cycle`` and leaves the local clock *at* ``cycle``, even when
-        the instance is idle (an idle replica still ages). Going
-        backwards is a coordinator bug and raises.
+        the instance is idle (an idle replica still ages; the kernel's
+        fast-forward makes that O(1)). Going backwards is a
+        coordinator bug and raises.
+
+        The equal-cycle call is deliberately a no-op: ``run(until=t)``
+        can only return with the ready deque empty, so after any
+        *time-bounded* advance there is no same-cycle work to strand,
+        and an arrival landing on the instance's current cycle is
+        admitted exactly like the standalone server's back-to-back
+        same-cycle submissions (which also run without an intervening
+        drain) — that equivalence is what keeps a single-instance
+        fleet bit-identical to the standalone server (the pinned
+        fidelity tests in ``tests/fleet/test_cluster.py``). The one
+        place same-cycle events *can* be left pending is an
+        event-bounded ``run(until=event)``, which aborts mid-cycle:
+        :meth:`drain` flushes those itself.
         """
         if cycle < self.env.now:
             raise ValueError(
@@ -120,9 +134,22 @@ class FleetInstance:
         self.env.run(until=self.env.now)
 
     def drain(self) -> None:
-        """Run until every admitted request reached a terminal state."""
+        """Run until every admitted request reached a terminal state.
+
+        ``run(until=event)`` stops the instant the terminal event
+        processes, which can be mid-cycle: events scheduled for the
+        same cycle but behind the terminal event (a completion
+        callback, a metrics update, a parked loop's wake) would stay
+        undispatched — and, because the coordinator's final alignment
+        is an equal-cycle ``advance_to`` no-op for the slowest
+        instance, they would be stranded forever, silently missing
+        from reports and from the router's completion feed. The
+        zero-delay flush below dispatches the remainder of the current
+        cycle without moving the clock.
+        """
         admitted = self.server.queue.admitted
         self.env.run(until=self.server.wait_terminal(admitted))
+        self.env.run(until=self.env.now)
 
     # -- work ---------------------------------------------------------------
 

@@ -180,9 +180,22 @@ class FleetRouter:
                  for candidate in shard),
                 key=lambda pair: (pair[1], shard.index(pair[0])))
         else:   # latency-aware
+            # A never-observed EWMA (None) must not read as "fastest":
+            # an instance that has completed nothing — possibly because
+            # it is stalled — would then absorb all traffic forever.
+            # Cold instances are scored by their current backlog
+            # instead (same unit: cycles): an idle cold instance still
+            # gets explored (backlog 0), while a stalled one
+            # accumulates backlog and stops attracting requests.
+            def _score(candidate: str) -> float:
+                ewma = self._ewma[candidate]
+                if ewma is not None:
+                    return ewma
+                return float(
+                    self._by_name[candidate].load().est_backlog_cycles)
+
             name, score = min(
-                ((candidate, self._ewma[candidate] or 0.0)
-                 for candidate in shard),
+                ((candidate, _score(candidate)) for candidate in shard),
                 key=lambda pair: (pair[1], shard.index(pair[0])))
         self.decisions.append(RouterDecision(
             at=at, tenant=tenant, instance=name, policy=self.policy,

@@ -16,9 +16,11 @@ cycles. End-to-end latency of an uncontended packet is the textbook
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..sim import Environment, Fifo, Process
+import numpy as np
+
+from ..sim import Environment, Fifo, Process, Timeout
 from .link import Link
 from .packet import Coord, MessageKind, Packet
 from .routing import route_hops_cached, validate_coord
@@ -104,6 +106,12 @@ class Mesh2D:
         self._route_links: Dict[Tuple[Coord, Coord, str],
                                 Tuple[Link, ...]] = {}
 
+        # Endpoint validation cache: (coord, plane) pairs already
+        # checked. The mesh is immutable, so a pair that validated once
+        # validates forever — send() then costs two set probes instead
+        # of re-running the bounds/plane checks per packet.
+        self._checked: set = set()
+
         # Aggregate statistics.
         self.packets_delivered = 0
         self.flit_hops = 0
@@ -131,10 +139,13 @@ class Mesh2D:
         return self.planes[plane].flit_bits
 
     def _check(self, coord: Coord, plane: str) -> None:
+        if (coord, plane) in self._checked:
+            return
         validate_coord(coord, self.cols, self.rows)
         if plane not in self.planes:
             raise ValueError(
                 f"unknown plane {plane!r}; options: {sorted(self.planes)}")
+        self._checked.add((coord, plane))
 
     def route_links(self, src: Coord, dst: Coord,
                     plane: str) -> Tuple[Link, ...]:
@@ -170,7 +181,7 @@ class Mesh2D:
                 flits=packet.size_flits)
         if packet.src == packet.dst:
             # Local ejection: no links, one router traversal.
-            yield self.env.timeout(self.router_latency)
+            yield Timeout(self.env, self.router_latency)
         else:
             env = self.env
             router_latency = self.router_latency
@@ -183,12 +194,12 @@ class Mesh2D:
                         "noc", f"{packet.plane} {link.src}->{link.dst}",
                         packet.kind.name, "noc.link",
                         flits=packet.size_flits))
-                yield env.timeout(router_latency)
+                yield Timeout(env, router_latency)
             # Head reached the destination; the body drains behind it.
             # The hold is a single multi-cycle timeout per link set — the
             # whole serialized body in one event, never one event per
             # flit (see docs/performance.md).
-            yield env.timeout(packet.size_flits)
+            yield Timeout(env, packet.size_flits)
             size_flits = packet.size_flits
             for index, link in enumerate(route):
                 link.record(size_flits)
@@ -239,6 +250,50 @@ class Mesh2D:
             tracer.end(sid, outcome="delivered")
         yield self._inboxes[(packet.dst, packet.plane)].put(packet)
         return packet
+
+    # -- vectorized transport (wide-mesh sweeps) ----------------------------
+
+    def bulk_uncontended_latencies(self, srcs: Sequence[Coord],
+                                   dsts: Sequence[Coord],
+                                   size_flits: int,
+                                   plane: str = DMA_REQUEST_PLANE
+                                   ) -> "np.ndarray":
+        """Vectorized end-to-end latencies of uncontended packets.
+
+        For each (src, dst) pair, the cycle count an isolated packet of
+        ``size_flits`` flits takes on an otherwise idle mesh: one
+        router traversal for local ejection, else the wormhole formula
+        ``hops * router_latency + size_flits`` (XY hop count =
+        Manhattan distance). This is the closed form of
+        :meth:`_transmit` with every ``acquire`` immediate — validated
+        against the event-driven path in
+        ``tests/noc/test_vectorized.py`` — and exists for wide-mesh
+        design-space sweeps where simulating millions of uncontended
+        probe packets one event at a time would dominate the sweep.
+        Contended traffic must still go through :meth:`send`; queueing
+        has no closed form.
+        """
+        if size_flits < 1:
+            raise ValueError(f"size_flits must be >= 1, got {size_flits}")
+        if plane not in self.planes:
+            raise ValueError(
+                f"unknown plane {plane!r}; options: {sorted(self.planes)}")
+        src = np.asarray(srcs, dtype=np.int64)
+        dst = np.asarray(dsts, dtype=np.int64)
+        if src.ndim != 2 or src.shape[1] != 2 or src.shape != dst.shape:
+            raise ValueError("srcs/dsts must be matching (n, 2) coordinate "
+                             f"arrays, got {src.shape} and {dst.shape}")
+        for arr, label in ((src, "src"), (dst, "dst")):
+            if ((arr[:, 0] < 0).any() or (arr[:, 0] >= self.cols).any()
+                    or (arr[:, 1] < 0).any()
+                    or (arr[:, 1] >= self.rows).any()):
+                raise ValueError(f"{label} coordinate out of the "
+                                 f"{self.cols}x{self.rows} mesh")
+        hops = (np.abs(src[:, 0] - dst[:, 0])
+                + np.abs(src[:, 1] - dst[:, 1]))
+        latency = hops * self.router_latency + size_flits
+        # Local ejection: no links, one router traversal, no body drain.
+        return np.where(hops == 0, self.router_latency, latency)
 
     # -- statistics ----------------------------------------------------------
 

@@ -24,11 +24,15 @@ platform model and the kernel's scheduling fast paths rely on:
    without waiting (put with space and no queued putter, get with an
    item, acquire with a free slot), its event is triggered *at the
    call site* and dispatched through the kernel's zero-delay ready
-   queue in scheduling order — no heap traffic, and by the kernel's
-   ordering contract (see :mod:`repro.sim.kernel`) at exactly the
-   position a delayed trigger would have had. Operation latency in
-   simulated time is always 0 cycles either way; only who-waits-on-whom
-   is modelled.
+   queue in scheduling order — no calendar traffic, and by the
+   kernel's ordering contract (see :mod:`repro.sim.kernel`) at exactly
+   the position a delayed trigger would have had. These sites assign
+   the event value and append to ``env._ready`` directly instead of
+   calling ``Event.succeed`` — the event was created (or dequeued from
+   a waiter list) in the same expression, so the double-trigger guard
+   is statically dead; the write is what ``succeed`` would have done.
+   Operation latency in simulated time is always 0 cycles either way;
+   only who-waits-on-whom is modelled.
 4. **Conservation.** ``total_puts``/``total_gets`` count accepted
    handshakes exactly once, including fast-path completions, so
    queue-occupancy accounting balances under any interleaving
@@ -87,7 +91,8 @@ class Fifo:
         if not self._putters and (self.capacity is None
                                   or len(self.items) < self.capacity):
             self._accept(item)
-            event.succeed()
+            event._value = None
+            self.env._ready.append(event)
         else:
             event.wait_reason = f"put on full fifo {self.name!r}"
             self._putters.append((event, item))
@@ -97,7 +102,8 @@ class Fifo:
         """Dequeue one item; the returned event triggers with the item."""
         event = Event(self.env)
         if self.items:
-            event.succeed(self.items.popleft())
+            event._value = self.items.popleft()
+            self.env._ready.append(event)
             self.total_gets += 1
             if self._putters:
                 self._drain_putters()
@@ -167,8 +173,12 @@ class Fifo:
     def _accept(self, item: Any) -> None:
         self.total_puts += 1
         if self._getters:
+            # A queued getter is pending by construction (triggered
+            # events never sit in the waiter deques), so the inline
+            # trigger of invariant 3 applies here too.
             getter = self._getters.popleft()
-            getter.succeed(item)
+            getter._value = item
+            self.env._ready.append(getter)
             self.total_gets += 1
         else:
             self.items.append(item)
@@ -177,7 +187,8 @@ class Fifo:
         while self._putters and not self.is_full:
             event, item = self._putters.popleft()
             self._accept(item)
-            event.succeed()
+            event._value = None
+            self.env._ready.append(event)
 
 
 class Resource:
@@ -255,7 +266,10 @@ class Resource:
         self.total_acquisitions += 1
         if self.record_history:
             self.history.append((self.env.now, self._in_use))
-        event.succeed()
+        # Fresh acquire events and dequeued waiters are both pending by
+        # construction — inline trigger (invariant 3).
+        event._value = None
+        self.env._ready.append(event)
 
     def utilization(self, elapsed: Optional[int] = None) -> float:
         """Fraction of a window the resource was held at least once.

@@ -14,32 +14,68 @@ Scheduling order contract
 -------------------------
 
 Events scheduled for the same simulated time are processed in
-scheduling order (FIFO). The implementation keeps two structures:
+scheduling order (FIFO). The scheduler is a **calendar queue** (hash
+bucket per occupied cycle) rather than the seed's single binary heap:
 
-- a binary heap of ``(time, sequence, event)`` entries for *delayed*
-  events (``delay > 0``), and
-- a plain deque — ``_ready`` — for *zero-delay* events (``succeed``,
-  ``fail``, ``timeout(0)``), which skips the heap entirely.
+- ``_ready`` — a plain deque holding every event due *now*, in FIFO
+  (= scheduling) order. Zero-delay triggers (``succeed``, ``fail``,
+  ``timeout(0)``) append here directly; advancing the clock moves a
+  whole calendar bucket here at once (batched dispatch).
+- ``_buckets`` — a dict mapping an absolute due cycle to the list of
+  events scheduled for it, each list in push order. Enqueue is O(1):
+  one dict probe plus a list append — no tuple allocation, no sequence
+  number, no log-n sift.
+- ``_times`` — a min-heap over the *distinct occupied cycles* of
+  ``_buckets``. A cycle is pushed once, when its bucket is created, so
+  heap traffic scales with distinct wake-up times, not with events
+  (same-cycle storms cost one heap entry total).
 
-The split preserves the exact order a single heap would produce:
-zero-delay events are, by construction, scheduled *at* the current
-time, while every heap entry due at the current time was pushed
-*before* the clock reached it (a push at the current time for the
-current time is zero-delay and lands in the deque). Sequence numbers
-increase with push order, so every due heap entry precedes every deque
-entry, and the deque itself is FIFO. ``step()`` therefore drains due
-heap entries first, then the deque, which is bit-identical to the
-single-heap schedule — see ``docs/performance.md`` for the full
-argument and ``tests/sim/test_fastpath_equivalence.py`` for the
-randomized cross-check against a reference single-heap kernel.
+Why this is bit-identical to the seed's single ``(time, sequence,
+event)`` heap:
+
+1. A delayed event's ``delay`` is >= 1, so nothing is ever added to
+   the bucket of the *current* cycle; and the clock only advances when
+   ``_ready`` is empty. Therefore, when the clock reaches cycle ``t``,
+   bucket ``t`` is frozen and ``_ready`` is empty.
+2. The bucket's list order is push order — exactly the order the
+   seed's sequence numbers would have imposed among events due at
+   ``t`` — and every bucket entry was pushed *before* the clock
+   reached ``t``, so under the seed's heap all of them sort before any
+   zero-delay event triggered *at* ``t``. Draining the bucket first
+   and appending zero-delay triggers behind it reproduces that order.
+3. The deque itself preserves FIFO order for the zero-delay tail.
+
+So the calendar schedule and the seed schedule dispatch the same
+events in the same order at the same times — see
+``docs/performance.md`` for the full cost model and
+``tests/sim/test_fastpath_equivalence.py`` for the randomized
+cross-check against a reference single-heap kernel (including
+same-cycle storms and long idle gaps).
+
+Batched dispatch and fast-forward
+---------------------------------
+
+``run()`` drains events in *cycle batches*: advancing the clock moves
+the whole calendar bucket into the ready deque in one operation and
+dispatches it inline, without re-entering ``step()``/``peek()`` per
+event — the stop-time comparison happens once per distinct cycle, not
+once per event. When the next occupied cycle lies beyond the ``until``
+horizon, :meth:`Environment.run` **fast-forwards**: it sets the clock
+to the horizon in O(1), skipping the whole idle span. This is sound
+for the event-driven model by construction — a span with no scheduled
+event is a span in which provably nothing happens (no link transfer,
+no process wake-up), because every state change in this kernel is the
+callback of a scheduled event. :meth:`Environment.fast_forward` makes
+the same jump available to coordinators (the fleet's lockstep
+``advance_to``) with the emptiness precondition checked.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections import deque
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Generator, Iterable, List, \
+    Optional, Tuple
 
 
 class SimulationError(Exception):
@@ -160,17 +196,26 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers automatically after a fixed delay."""
+    """An event that triggers automatically after a fixed delay.
+
+    Timeouts are the hottest event constructor (every modelled latency
+    is one), so ``__init__`` assigns the :class:`Event` fields directly
+    instead of chaining through ``Event.__init__``; scheduling still
+    goes through :meth:`Environment._schedule`, the single overridable
+    enqueue point.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        self.env = env
+        self.callbacks = []
+        self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        self.delay = delay
+        env._schedule(self, delay)
 
 
 class Process(Event):
@@ -180,26 +225,35 @@ class Process(Event):
     yielded event triggers; a failed event raises inside the generator
     (and aborts the process if unhandled). The generator's return value
     becomes the process event's value.
+
+    ``_resume_cb``/``_send``/``_throw`` cache the bound methods used on
+    every resume (one per dispatched event), so the hot loop does no
+    repeated bound-method allocation or attribute lookups.
     """
 
-    __slots__ = ("_generator", "_target", "name", "_created_at")
+    __slots__ = ("_generator", "_target", "name", "_created_at",
+                 "_resume_cb", "_send", "_throw")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any],
                  name: Optional[str] = None) -> None:
         super().__init__(env)
-        if not hasattr(generator, "send"):
-            raise TypeError(f"{generator!r} is not a generator")
+        try:
+            self._send = generator.send
+            self._throw = generator.throw
+        except AttributeError:
+            raise TypeError(f"{generator!r} is not a generator") from None
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         self._created_at = env.now
+        self._resume_cb = self._resume
         env._register_process(self)
         # Bootstrap: resume once at the current time.
         init = Event(env)
         init._value = None
         env._schedule(init)
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -225,7 +279,7 @@ class Process(Event):
         if self._target is not None \
                 and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
@@ -236,7 +290,7 @@ class Process(Event):
         event._value = Interrupt(cause)
         event.__sim_defused__ = True  # type: ignore[attr-defined]
         self.env._schedule(event)
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
 
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
@@ -246,18 +300,18 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         env = self.env
-        generator = self._generator
+        send = self._send
         env._active_proc = self
         while True:
             try:
                 if event._ok:
-                    target = generator.send(event._value)
+                    target = send(event._value)
                 else:
                     # The generator gets a chance to handle the failure;
                     # receiving it here defuses the original event so the
                     # kernel does not crash on it a second time.
                     event.__sim_defused__ = True  # type: ignore[attr-defined]
-                    target = generator.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as stop:
                 env._active_proc = None
                 if env.tracer is not None:
@@ -269,7 +323,7 @@ class Process(Event):
             except BaseException as exc:
                 # The process dies; waiters (if any) observe the failure
                 # through this process event. If nobody defuses it, the
-                # exception surfaces from Environment.step().
+                # exception surfaces from the dispatch loop.
                 env._active_proc = None
                 if env.tracer is not None:
                     env.tracer.complete(
@@ -288,7 +342,7 @@ class Process(Event):
                 event = target
                 continue
             self._target = target
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
             env._active_proc = None
             return
 
@@ -356,22 +410,38 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """Execution environment: event queue plus the simulation clock."""
+    """Execution environment: calendar event queue plus the clock.
+
+    Scheduling structures (see the module docstring for the ordering
+    argument):
+
+    - ``_ready`` — deque of events due at the current cycle, FIFO.
+    - ``_buckets`` — absolute cycle -> list of events, push-ordered.
+    - ``_times`` — min-heap over the distinct keys of ``_buckets``.
+
+    Subclasses that need different storage (the reference single-heap
+    oracle in the equivalence tests) override ``_schedule``, ``peek``,
+    ``step`` and ``run``; ``Event.succeed`` additionally appends to
+    ``_ready`` directly, so such subclasses substitute ``_ready`` with
+    a shim object exposing ``append``/``__bool__``/``__len__``.
+    """
 
     def __init__(self, initial_time: int = 0) -> None:
         self._now = initial_time
-        self._queue: List = []
-        #: Zero-delay events awaiting dispatch at the current time, in
-        #: FIFO (= scheduling) order. The fast path of ``_schedule``:
-        #: the common case — ``succeed``/``fail``/``timeout(0)`` — skips
-        #: the heap (no tuple, no sequence number, no log-n sift). See
-        #: the module docstring for why the order is unchanged.
+        #: Events awaiting dispatch at the current cycle, in FIFO
+        #: (= scheduling) order: zero-delay triggers land here at the
+        #: call site, and advancing the clock moves a whole calendar
+        #: bucket here in one operation.
         self._ready: deque = deque()
-        self._eid = itertools.count()
+        #: Calendar: absolute due cycle -> push-ordered event list.
+        self._buckets: Dict[int, List[Event]] = {}
+        #: Min-heap of the distinct occupied cycles (one entry per
+        #: bucket, pushed at bucket creation).
+        self._times: List[int] = []
         self._active_proc: Optional[Process] = None
         self._processes: List[Process] = []
         self._prune_at = 64
-        #: Events dispatched so far (one increment per ``step()``) — the
+        #: Events dispatched so far (one increment per event) — the
         #: numerator of the events/second throughput metric reported by
         #: ``benchmarks/bench_perf.py``.
         self.events_processed = 0
@@ -445,37 +515,50 @@ class Environment:
     # -- scheduling / running --------------------------------------------
 
     def _schedule(self, event: Event, delay: int = 0) -> None:
+        """Enqueue ``event`` after ``delay`` cycles (0 = this cycle).
+
+        O(1) amortized: a dict probe and a list append; the heap is
+        touched only when a cycle becomes occupied for the first time.
+        """
         if delay:
-            heapq.heappush(self._queue,
-                           (self._now + delay, next(self._eid), event))
+            when = self._now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [event]
+                heappush(self._times, when)
+            else:
+                bucket.append(event)
         else:
             self._ready.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        if self._queue:
-            when = self._queue[0][0]
-            if when == self._now or not self._ready:
-                return when
-        elif not self._ready:
-            return float("inf")
-        return self._now
+        if self._ready:
+            return self._now
+        if self._times:
+            return self._times[0]
+        return float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event.
 
-        Heap entries due at the current time dispatch before the ready
-        deque (they were scheduled earlier — module docstring); the
-        clock only advances once the deque has drained.
+        When the current cycle's ready deque is empty, the clock
+        advances to the next occupied cycle and that whole calendar
+        bucket moves to the deque (batched dispatch); bucket entries
+        dispatch before any zero-delay event triggered at the new
+        cycle — see the module docstring for why this order is
+        bit-identical to the seed's single heap.
         """
-        queue = self._queue
-        if queue and (queue[0][0] == self._now or not self._ready):
-            when, _, event = heapq.heappop(queue)
+        ready = self._ready
+        if not ready:
+            times = self._times
+            if not times:
+                raise SimulationError("step() on an empty schedule")
+            when = heappop(times)
             self._now = when
-        elif self._ready:
-            event = self._ready.popleft()
-        else:
-            raise SimulationError("step() on an empty schedule")
+            ready.extend(self._buckets.pop(when))
+        event = ready.popleft()
         self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
@@ -484,11 +567,40 @@ class Environment:
         if not event._ok and not getattr(event, "__sim_defused__", False):
             raise event._value
 
+    def fast_forward(self, cycle: int) -> None:
+        """Jump the clock to ``cycle`` without dispatching anything.
+
+        O(1). Legal only when the span ``(now, cycle]`` is provably
+        empty of scheduled work — no ready event and no calendar
+        bucket at or before ``cycle``; in the event-driven model that
+        *is* the proof that nothing happens in the span (every state
+        change is the callback of a scheduled event, and an idle NoC
+        link or a parked single waiter cannot spontaneously generate
+        one). Raises :class:`SimulationError` when the precondition
+        does not hold, so a coordinator cannot silently skip work.
+        """
+        if cycle < self._now:
+            raise ValueError(
+                f"fast_forward to {cycle} is in the past (now={self._now})")
+        if self._ready or (self._times and self._times[0] <= cycle):
+            raise SimulationError(
+                f"fast_forward({cycle}) would skip a scheduled event "
+                f"(next at {self.peek()})")
+        self._now = cycle
+
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
 
         ``until`` may be ``None`` (drain), an integer time, or an
         :class:`Event` whose value is returned when it triggers.
+
+        The loop dispatches in cycle batches: one clock advance moves
+        the whole calendar bucket into the ready deque, and the
+        stop-time horizon is compared once per *distinct cycle*, never
+        per event. When the next occupied cycle lies beyond the
+        horizon, the clock fast-forwards to the horizon in O(1) — a
+        lockstep coordinator advancing an idle instance costs one
+        comparison and one assignment, regardless of the span length.
         """
         stop_event: Optional[Event] = None
         stop_time: Optional[int] = None
@@ -507,12 +619,32 @@ class Environment:
                 raise ValueError(
                     f"until={stop_time} is in the past (now={self._now})")
 
+        ready = self._ready
+        times = self._times
+        buckets = self._buckets
         try:
-            while self._queue or self._ready:
-                if stop_time is not None and self.peek() > stop_time:
-                    self._now = stop_time
-                    return None
-                self.step()
+            while True:
+                if not ready:
+                    if not times:
+                        break
+                    when = times[0]
+                    if stop_time is not None and when > stop_time:
+                        # Fast-forward: nothing is scheduled in
+                        # (now, stop_time] — jump straight there.
+                        self._now = stop_time
+                        return None
+                    heappop(times)
+                    self._now = when
+                    ready.extend(buckets.pop(when))
+                event = ready.popleft()
+                self.events_processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok \
+                        and not getattr(event, "__sim_defused__", False):
+                    raise event._value
         except StopSimulation:
             assert stop_event is not None
             if not stop_event.ok:

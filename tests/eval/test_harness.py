@@ -119,6 +119,74 @@ class TestFromHistogram:
         with pytest.raises(ValueError):
             LatencySummary.from_histogram(self.hist_of([]))
 
+    def test_exact_boundary_rank_tracks_percentile(self):
+        """A rank landing exactly on a cumulative-count boundary.
+
+        Ten observations in (256, 512], ten in (512, 1024]: p50's
+        position is 9.5, straddling the last observation of the first
+        bucket and the first of the second. The old ``q / 100 *
+        count`` rank collapsed this to the first bucket's upper edge
+        (512) regardless of where the true percentile sat; the
+        percentile()-convention estimator interpolates across the
+        boundary like numpy does on the raw sample.
+        """
+        from repro.eval.harness import LatencySummary, percentile
+
+        sample = [300 + 20 * k for k in range(10)] \
+            + [600 + 40 * k for k in range(10)]
+        summary = LatencySummary.from_histogram(self.hist_of(sample))
+        true_p50 = percentile(sample, 50)   # 540: above the boundary
+        assert true_p50 > 512
+        assert summary.p50 > 512            # old estimator returned 512
+        # Within the wider neighbouring bucket's width (here 512).
+        assert abs(summary.p50 - true_p50) <= 512
+
+    def test_boundary_across_empty_buckets_is_bounded(self):
+        """Adversarial layout: the boundary straddles a run of empty
+        buckets. Each interpolation endpoint must stay inside its own
+        order statistic's bucket, so even with 15 empty buckets
+        between the halves the error stays within the wider
+        neighbouring bucket's width — the old estimator returned the
+        lower bucket's edge (1) for a true p50 of ~25000."""
+        from repro.eval.harness import LatencySummary, percentile
+
+        # Ten in (0.5, 1], ten in (32768, 65536]; p50 position 9.5
+        # straddles the gap, p95 position 18.05 sits in the top bucket.
+        sample = [1] * 10 + [50_000] * 10
+        summary = LatencySummary.from_histogram(self.hist_of(sample))
+        true_p50 = percentile(sample, 50)
+        assert summary.p50 > 1              # old estimator returned 1.0
+        assert abs(summary.p50 - true_p50) <= 65_536 - 32_768
+        # p95: both endpoints in the top bucket, clamped at the max.
+        assert summary.p95 == percentile(sample, 95) == 50_000
+
+    def test_single_populated_bucket(self):
+        """All mass in one bucket: every percentile estimate must stay
+        inside that bucket and order monotonically with q."""
+        from repro.eval.harness import LatencySummary
+
+        sample = [300] * 25    # all in (256, 512]
+        summary = LatencySummary.from_histogram(self.hist_of(sample))
+        for value in (summary.p50, summary.p95, summary.p99):
+            assert 256 < value <= 300   # clamped at the observed max
+        assert summary.p50 <= summary.p95 <= summary.p99
+        assert summary.max == 300
+
+    def test_estimates_monotone_in_q(self):
+        """q1 <= q2 implies estimate(q1) <= estimate(q2), including at
+        boundary ranks (non-monotone estimates would let a p95 exceed
+        a p99 in dashboards)."""
+        from repro.eval.harness import LatencySummary
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            sample = [int(v) for v in rng.lognormal(6, 2, 40)]
+            summary = LatencySummary.from_histogram(
+                self.hist_of(sample))
+            assert summary.p50 <= summary.p95 <= summary.p99 \
+                <= summary.max
+
 
 class TestMerge:
     """LatencySummary.merge vs pooled-sample percentile()."""

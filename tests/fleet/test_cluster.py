@@ -160,6 +160,54 @@ class TestFleetMechanics:
         assert instance.server.completions
         assert instance.poll_completions() == []
 
+    def test_same_cycle_arrival_on_busy_instance_is_not_stranded(self):
+        """An arrival landing on a busy instance's *current* cycle.
+
+        The coordinator's ``advance_to`` for such an arrival is an
+        equal-cycle no-op; the submission must still be admitted and
+        served exactly like the standalone server's back-to-back
+        same-cycle submissions, with nothing stranded at drain.
+        """
+        instance = FleetInstance.build("i0", build_soc1,
+                                       standard_tenants())
+        fleet = Fleet([instance], FleetRouter([instance]))
+        inputs = standard_inputs(n_frames=2)
+        instance.start()
+        assert instance.submit("classifier", inputs["classifier"]) is None
+        # Advance into the middle of the first request's service.
+        mid = instance.now + 500
+        instance.advance_to(mid)
+        assert instance.load().est_backlog_cycles > 0   # still busy
+        # The arrival lands at exactly the instance's current cycle:
+        # the lockstep advance is a no-op and must not strand the
+        # admission handshake.
+        instance.advance_to(mid)
+        assert instance.submit("classifier", inputs["classifier"]) is None
+        instance.drain()
+        assert len(instance.poll_completions()) == 2
+        # Nothing due at the final cycle is left undispatched: drain's
+        # zero-delay flush emptied the ready deque.
+        assert not instance.env._ready
+
+    def test_drain_flushes_same_cycle_events(self):
+        """After drain(), no same-cycle event is left pending.
+
+        ``run(until=event)`` aborts mid-cycle when the terminal event
+        processes; drain's flush must dispatch the rest of that cycle
+        (completion callbacks, metric updates) so reports and the
+        router's completion feed see every finished request even when
+        the coordinator never advances the clock again.
+        """
+        fleet = build_standard_fleet(n_instances=2,
+                                     policy="round-robin")
+        inputs = standard_inputs(n_frames=2)
+        report = fleet.run([Arrival(0, "classifier", 1),
+                            Arrival(0, "denoiser", 1),
+                            Arrival(100, "classifier", 1)], inputs)
+        assert report.failed == 0 and not report.rejections
+        for instance in fleet.instances:
+            assert not instance.env._ready
+
     def test_idle_instances_age_in_lockstep(self):
         """Every instance ends at the same fleet-final cycle, busy or
         not."""

@@ -136,8 +136,36 @@ class TestLatencyAware:
         router = FleetRouter(fleet, policy="latency-aware")
         fleet[0].complete(9_000)
         router.observe()
-        # i1 has no signal yet (scores 0), so it wins over i0's 9000.
+        # i1 has no signal yet and no backlog (scores 0), so it wins
+        # over i0's 9000-cycle EWMA.
         assert router.route("t").name == "i1"
+
+    def test_stalled_cold_instance_stops_attracting_requests(self):
+        """Regression: a never-completing instance must not look fastest.
+
+        Under the old ``ewma or 0.0`` coercion, an instance that had
+        completed nothing scored 0.0 forever — so a *stalled* instance
+        (admits work, never finishes it) permanently won every route
+        and absorbed all traffic. Cold instances are now scored by
+        their live backlog, so the stalled instance's growing queue
+        pushes new arrivals to the healthy (observed) instance.
+        """
+        fleet = stubs(2)
+        router = FleetRouter(fleet, policy="latency-aware")
+        healthy, stalled = fleet
+        healthy.complete(2_000)
+        router.observe()
+        # The stalled instance admits requests but never completes any:
+        # its EWMA stays None while its backlog climbs.
+        for _ in range(5):
+            picked = router.route("t")
+            if picked is stalled:
+                stalled.backlog += 3_000
+        assert router.ewma_latency("i1") is None
+        # Once its backlog exceeds the healthy EWMA, every further
+        # decision must go to the healthy instance.
+        later = [router.route("t").name for _ in range(10)]
+        assert set(later) == {"i0"}
 
     def test_prefers_lower_ewma(self):
         fleet = stubs(2)

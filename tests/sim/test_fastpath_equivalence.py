@@ -1,22 +1,25 @@
-"""Randomized equivalence of the hot-path fast paths vs reference code.
+"""Randomized equivalence of the optimized engine vs reference code.
 
-The simulation kernel, the channel primitives, the NoC route caches
-and the fixed-point quantizer all carry fast paths that must be
-**observably identical** to the straightforward reference
+The calendar-queue simulation kernel, the channel primitives, the NoC
+route caches and the fixed-point quantizer all carry fast paths that
+must be **observably identical** to the straightforward reference
 implementations they replaced (see ``docs/performance.md``). Each
 test here reconstructs the reference behaviour — the seed's
-single-heap scheduler, the uncached route walk, the divide/clip
-quantizer — and drives both sides through the same randomized, seeded
-scenarios, comparing every observable: dispatch order, timestamps,
-values delivered, grant order, counters, raw codes.
+single-heap scheduler, the succeed()-based channels, the uncached
+route walk, the divide/clip quantizer — and drives both sides through
+the same randomized, seeded scenarios, comparing every observable:
+dispatch order, timestamps, values delivered, grant order, counters,
+raw codes, final clock.
 
 These tests are the executable form of the ordering proof in
-``repro.sim.kernel``'s module docstring: if the zero-delay ready
-deque ever diverged from single-heap order, the interleavings below
-would catch it.
+``repro.sim.kernel``'s module docstring: if the calendar buckets, the
+batched dispatch loop or the fast-forward ever diverged from
+single-heap order, the interleavings below — including pathological
+same-cycle storms and long idle gaps — would catch it.
 """
 
 import heapq
+import itertools
 import random
 
 import numpy as np
@@ -25,21 +28,22 @@ import pytest
 from repro.fixed import FixedFormat
 from repro.noc.routing import hop_count, route_hops, xy_route
 from repro.sim import Environment, Fifo, Resource, Semaphore
-from repro.sim.kernel import Event
+from repro.sim.kernel import (DeadlockError, Event, SimulationError,
+                              StopSimulation)
 
 
 # ---------------------------------------------------------------------------
-# Reference scheduler: the seed's single-heap kernel
+# Reference scheduler: the seed's single-heap kernel, self-contained
 # ---------------------------------------------------------------------------
 
 class _HeapReady:
     """A ``_ready`` stand-in that routes every append to the heap.
 
-    The optimized ``Environment`` diverts zero-delay triggers into a
-    FIFO deque. Substituting this object restores the seed semantics
-    exactly: every append becomes a ``(now, sequence, event)`` heap
-    push, and the deque always reads as empty, so ``step``/``peek``/
-    ``run`` fall through to their pure single-heap branches.
+    The optimized ``Environment`` sends zero-delay triggers to a FIFO
+    deque (``Event.succeed`` and the channel fast paths append to
+    ``env._ready`` directly). Substituting this object restores the
+    seed semantics exactly: every append becomes a ``(now, sequence,
+    event)`` heap push, and the deque always reads as empty.
     """
 
     __slots__ = ("env",)
@@ -48,7 +52,7 @@ class _HeapReady:
         self.env = env
 
     def append(self, event):
-        heapq.heappush(self.env._queue,
+        heapq.heappush(self.env._heap,
                        (self.env._now, next(self.env._eid), event))
 
     def __bool__(self):
@@ -59,15 +63,81 @@ class _HeapReady:
 
 
 class ReferenceEnvironment(Environment):
-    """The optimized kernel forced back onto a single heap."""
+    """The seed kernel: one binary heap of ``(time, seq, event)``.
+
+    A complete, independent scheduler implementation — storage
+    (``_heap`` + global sequence counter), ``peek``, per-event
+    ``step`` and a peek/step ``run`` loop — serving as the oracle for
+    the calendar-queue + batched-dispatch + fast-forward engine. It
+    shares only the Event/Process/channel layer with the optimized
+    kernel, which is exactly the surface whose observable behaviour
+    the equivalence tests pin.
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
+        self._heap = []
+        self._eid = itertools.count()
         self._ready = _HeapReady(self)
 
     def _schedule(self, event, delay=0):
-        heapq.heappush(self._queue,
+        heapq.heappush(self._heap,
                        (self._now + delay, next(self._eid), event))
+
+    def peek(self):
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self):
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "__sim_defused__", False):
+            raise event._value
+
+    def run(self, until=None):
+        stop_event = None
+        stop_time = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+
+            def _stop(event):
+                raise StopSimulation
+
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            stop_time = int(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})")
+        try:
+            while self._heap:
+                if stop_time is not None and self._heap[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+        except StopSimulation:
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        finally:
+            if stop_event is not None and stop_event.callbacks \
+                    and _stop in stop_event.callbacks:
+                stop_event.callbacks.remove(_stop)
+        if stop_event is not None and not stop_event.triggered:
+            raise DeadlockError(
+                "run(until=event) drained the schedule before the event "
+                "triggered", blocked=self.blocked_processes())
+        if stop_time is not None:
+            self._now = stop_time
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -148,17 +218,163 @@ def _run_scenario(env_cls, seed):
 
 @pytest.mark.parametrize("seed", range(25))
 def test_kernel_matches_single_heap_reference(seed):
-    """Optimized two-structure scheduler == seed single-heap scheduler.
+    """Calendar-queue scheduler == seed single-heap scheduler.
 
     Identical programs must produce identical dispatch traces — same
     events, same timestamps, same intra-cycle order — and identical
-    event counts (``events_processed`` counts ``step()`` calls, which
-    the fast paths must not add to or elide).
+    event counts (``events_processed`` increments once per dispatched
+    event on both engines; batching must not add to or elide it).
     """
     opt_trace, opt_stats = _run_scenario(Environment, seed)
     ref_trace, ref_stats = _run_scenario(ReferenceEnvironment, seed)
     assert opt_trace == ref_trace
     assert opt_stats == ref_stats
+
+
+def _run_storm_scenario(env_cls, seed):
+    """Pathological same-cycle storm: wide zero-delay fan-outs.
+
+    Every round, every worker wakes at the *same* cycle (identical
+    delays), fires a burst of immediate FIFO handshakes and semaphore
+    posts, and chains a cascade of zero-delay events — the worst case
+    for the calendar engine, where one bucket plus a long deque tail
+    must still replay exactly the single-heap order.
+    """
+    rng = random.Random(seed)
+    env = env_cls()
+    trace = []
+    fifo = Fifo(env, name="storm")
+    sem = Semaphore(env, value=0, name="storm-sem")
+    n_workers = rng.randint(4, 10)
+    rounds = rng.randint(3, 6)
+    burst = rng.randint(2, 6)
+
+    def chain(wid, index, depth):
+        # A cascade of immediately-triggered events: each link lands
+        # behind everything already in flight at this cycle.
+        for hop in range(depth):
+            event = Event(env)
+            event.succeed((wid, index, hop))
+            got = yield event
+            trace.append((env.now, wid, "chain", got))
+
+    def worker(wid):
+        for round_no in range(rounds):
+            # Identical delay for every worker: all wake-ups collide
+            # on one calendar bucket.
+            yield env.timeout(5)
+            for index in range(burst):
+                fifo.put((wid, round_no, index))
+                trace.append((env.now, wid, "put", index))
+            sem.post(burst)
+            env.process(chain(wid, round_no, rng.randint(1, 4)),
+                        name=f"chain{wid}.{round_no}")
+            for index in range(burst):
+                yield sem.wait()
+                got = yield fifo.get()
+                trace.append((env.now, wid, "got", got))
+
+    for wid in range(n_workers):
+        env.process(worker(wid), name=f"w{wid}")
+    env.run()
+    return trace, (env.now, env.events_processed,
+                   fifo.total_puts, fifo.total_gets)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_same_cycle_storm_matches_reference(seed):
+    """Same-cycle storms: batched bucket dispatch == single heap."""
+    opt = _run_storm_scenario(Environment, seed)
+    ref = _run_storm_scenario(ReferenceEnvironment, seed)
+    assert opt == ref
+
+
+def _run_idle_gap_scenario(env_cls, seed):
+    """Sparse wake-ups separated by long idle gaps, driven by run(until).
+
+    The driver advances the clock in randomized slices (landing inside
+    gaps, exactly on wake-up cycles, and far beyond the last event),
+    which exercises the fast-forward path against the reference
+    kernel's peek-based clock advance. The returned trace includes the
+    observed clock after every slice.
+    """
+    rng = random.Random(seed)
+    env = env_cls()
+    trace = []
+    gaps = [rng.choice([1, 7, 10_000, 1_000_000]) for _ in range(6)]
+
+    def sparse(pid):
+        for index, gap in enumerate(gaps):
+            yield env.timeout(gap + pid)
+            trace.append((env.now, pid, index))
+
+    for pid in range(rng.randint(1, 3)):
+        env.process(sparse(pid), name=f"sparse{pid}")
+
+    horizon = sum(gaps) + 10
+    slices = sorted(rng.randint(0, horizon + 2_000_000)
+                    for _ in range(8))
+    for target in slices:
+        if target >= env.now:
+            env.run(until=target)
+            trace.append(("clock", env.now))
+    env.run()
+    return trace, (env.now, env.events_processed)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_long_idle_gaps_match_reference(seed):
+    """Fast-forward across idle spans == reference clock advance."""
+    opt = _run_idle_gap_scenario(Environment, seed)
+    ref = _run_idle_gap_scenario(ReferenceEnvironment, seed)
+    assert opt == ref
+
+
+@pytest.mark.parametrize("env_cls", [Environment, ReferenceEnvironment])
+def test_failure_mid_cycle_leaves_rest_of_cycle_dispatchable(env_cls):
+    """An unhandled failure aborts run() without losing queued events.
+
+    The batched dispatch loop must leave the undispatched remainder of
+    the cycle in the schedule, so a caller that catches the error can
+    resume and both kernels agree on what still happens.
+    """
+    env = env_cls()
+    order = []
+
+    def boomer():
+        yield env.timeout(3)
+        raise RuntimeError("boom")
+
+    def bystander(bid):
+        yield env.timeout(3)
+        order.append((env.now, bid))
+
+    env.process(bystander(0))
+    env.process(boomer(), name="boomer")
+    env.process(bystander(1))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+    env.run()   # the rest of cycle 3 must still dispatch
+    assert order == [(3, 0), (3, 1)]
+
+
+def test_fast_forward_requires_empty_span():
+    """fast_forward() refuses to skip over scheduled work."""
+    def ticker(env):
+        yield env.timeout(5)
+
+    env = Environment()
+    env.process(ticker(env), name="ticker")
+    env.run(until=4)    # ticker due at 5
+    env.fast_forward(4)             # no-op jump to the present is fine
+    with pytest.raises(SimulationError):
+        env.fast_forward(5)         # would swallow the tick
+    with pytest.raises(ValueError):
+        env.fast_forward(2)         # the past is off limits
+    env.run(until=5)
+    assert env.now == 5
+    env.fast_forward(1_000_000)     # schedule is empty: O(1) jump
+    assert env.now == 1_000_000
 
 
 def test_zero_delay_orders_after_due_heap_entries():
@@ -208,7 +424,9 @@ def test_zero_delay_orders_after_due_heap_entries():
 # ---------------------------------------------------------------------------
 
 class ReferenceFifo(Fifo):
-    """The seed's ``Fifo``: property-based full check, eager drain."""
+    """The seed's ``Fifo``: property-based full check, eager drain,
+    and every completion routed through ``Event.succeed`` instead of
+    the inlined value-assign + ready-append fast path."""
 
     def put(self, item):
         event = Event(self.env)
@@ -230,6 +448,20 @@ class ReferenceFifo(Fifo):
             event.wait_reason = f"get on empty fifo {self.name!r}"
             self._getters.append(event)
         return event
+
+    def _accept(self, item):
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            self.total_gets += 1
+        else:
+            self.items.append(item)
+
+    def _drain_putters(self):
+        while self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self._accept(item)
+            event.succeed()
 
 
 def _drive_fifo(fifo_cls, seed):
