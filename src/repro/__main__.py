@@ -11,6 +11,7 @@ Usage::
     python -m repro metrics-top [--interval CYCLES] [--requests N]
     python -m repro chaos [--smoke] [--seed N]
     python -m repro fleet [--policy P] [--instances N] [--smoke]
+    python -m repro tune  [--workload NAME] [--json PATH]
 
 ``python -m repro --help`` lists every subcommand with a one-line
 description; ``python -m repro <command> --help`` has the details.
@@ -189,6 +190,44 @@ def _cmd_fleet(args) -> None:
             for policy, report in ranked))
 
 
+def _cmd_tune(args) -> None:
+    """Auto-tune per-accelerator coherence over the ablation suite."""
+    import json
+
+    from .tune import ablation_workloads, autotune
+
+    workloads = ablation_workloads()
+    if args.workload != "all":
+        workloads = [wl for wl in workloads if wl.name == args.workload]
+    results = {}
+    for wl in workloads:
+        result = autotune(wl.build, wl.dataflow, wl.frames,
+                          mode=wl.mode)
+        results[wl.name] = result
+        baseline = result.best_uniform_cycles
+        print(f"== {wl.name} ==  ({wl.description})")
+        arms = ", ".join(f"{label}={cycles:,}"
+                         for label, cycles in result.measured.items())
+        print(f"  measured: {arms}")
+        assignment = ", ".join(
+            f"{dev}={mode.value}"
+            for dev, mode in sorted(result.assignment.items())) \
+            or "(all non-coherent)"
+        print(f"  chosen: {result.chosen} -> {assignment}")
+        for dev in result.profile.devices:
+            print(f"    {dev.device}: {dev.recommended.value} "
+                  f"-- {dev.reason}")
+        saved = baseline - result.cycles
+        print(f"  vs best uniform: {saved:+,} cycles "
+              f"({saved / baseline:+.2%})")
+    if args.json:
+        payload = {name: result.as_dict()
+                   for name, result in results.items()}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+
 #: One-line description per subcommand — single source for the
 #: ``--help`` listing (every entry must register a parser below).
 COMMANDS = {
@@ -202,6 +241,8 @@ COMMANDS = {
     "chaos": "self-healing chaos campaign (controller on vs off)",
     "fleet": "multi-instance fleet serving under overload, one run "
              "per load-balancing policy",
+    "tune": "auto-tune per-accelerator coherence modes over the "
+            "ablation workloads",
 }
 
 
@@ -277,6 +318,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="short-horizon variant")
     p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser("tune", help=COMMANDS["tune"],
+                       description=COMMANDS["tune"])
+    p.add_argument("--workload", default="all",
+                   choices=("all", "fc-streaming", "llc-resident",
+                            "false-sharing"),
+                   help="ablation workload to tune (default: all)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the tuning report as JSON")
+    p.set_defaults(fn=_cmd_tune)
     return parser
 
 

@@ -10,6 +10,9 @@ from .routing import (
 )
 from .link import Link
 from .mesh import (
+    COH_FORWARD_PLANE,
+    COH_REQUEST_PLANE,
+    COH_RESPONSE_PLANE,
     DEFAULT_PLANES,
     DMA_REQUEST_PLANE,
     DMA_RESPONSE_PLANE,
@@ -31,6 +34,9 @@ from .analysis import (
 )
 
 __all__ = [
+    "COH_FORWARD_PLANE",
+    "COH_REQUEST_PLANE",
+    "COH_RESPONSE_PLANE",
     "Coord",
     "DEFAULT_PLANES",
     "DMA_REQUEST_PLANE",

@@ -55,6 +55,15 @@ DMA_REQUEST_PLANE = "dma-req"
 DMA_RESPONSE_PLANE = "dma-rsp"
 IO_PLANE = "io-irq"
 
+#: The three cache-coherence planes (Fig. 2 planes 1-3). Idle under
+#: non-coherent and LLC-coherent DMA; the fully-coherent accelerator
+#: model (:mod:`repro.soc.coherence`) carries its MESI-style protocol
+#: on them: requests, forwarded invalidations, and responses (grants,
+#: acks and writebacks) on decoupled planes to prevent deadlock.
+COH_REQUEST_PLANE = "coh-req"
+COH_FORWARD_PLANE = "coh-fwd"
+COH_RESPONSE_PLANE = "coh-rsp"
+
 
 class Mesh2D:
     """The NoC instance: links, ejection queues and transmission."""

@@ -28,6 +28,11 @@ class MessageKind(Enum):
     REG_ACCESS = "reg_access"  # memory-mapped register read/write
     IRQ = "irq"                # interrupt toward the processor tile
     COHERENCE = "coherence"    # processor cache traffic (background)
+    COH_REQ = "coh_req"        # fully-coherent request (tile -> directory)
+    COH_INV = "coh_inv"        # invalidation/recall (directory -> tile)
+    COH_ACK = "coh_ack"        # invalidation ack (+ dirty data) back
+    COH_RSP = "coh_rsp"        # directory grant/data to the requester
+    COH_WB = "coh_wb"          # dirty-eviction writeback (fire-and-forget)
 
 
 @dataclass

@@ -44,20 +44,25 @@ class EspRuntime:
         return self.allocator.alloc(n_words, label=label)
 
     def esp_run(self, dataflow: Dataflow, frames: np.ndarray,
-                mode: str = "p2p", coherent: bool = False,
+                mode: str = "p2p", coherence=None, coherent=None,
                 dvfs=None) -> RunResult:
         """Execute the accelerator dataflow over a batch of frames.
 
         ``mode`` selects the execution strategy of Fig. 7: ``base``
         (serial, DMA), ``pipe`` (threaded pipeline, DMA), ``p2p``
         (threaded pipeline over the p2p service) or ``custom``
-        (per-edge transport). ``coherent`` switches DMA transactions to
-        the LLC-coherent model when the memory tile hosts an LLC.
-        ``dvfs`` maps device names to clock dividers (per-tile DVFS):
-        a device with divider k computes k times slower and burns
-        ~1/k of its dynamic power.
+        (per-edge transport). ``coherence`` picks the DMA coherence
+        model: a single :class:`~repro.soc.CoherenceMode` (or its
+        string value — ``"non-coherent"``, ``"llc-coherent"``,
+        ``"fully-coherent"``) for every device, or a ``device -> mode``
+        mapping so each accelerator in the pipeline chooses its own.
+        The boolean ``coherent=`` alias is deprecated (True means
+        LLC-coherent). ``dvfs`` maps device names to clock dividers
+        (per-tile DVFS): a device with divider k computes k times
+        slower and burns ~1/k of its dynamic power.
         """
         return self.executor.execute(dataflow, frames, mode,
+                                     coherence=coherence,
                                      coherent=coherent, dvfs=dvfs)
 
     def esp_cleanup(self) -> None:

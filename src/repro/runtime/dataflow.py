@@ -73,6 +73,11 @@ class Dataflow:
     name: str
     devices: List[str]
     edges: List[DataflowEdge] = field(default_factory=list)
+    #: Optional per-device DMA coherence modes
+    #: (:class:`~repro.soc.CoherenceMode` or its string value). Devices
+    #: not listed run non-coherent; call-level ``coherence=`` arguments
+    #: to ``esp_run``/``plan`` overlay these defaults.
+    coherence: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -85,6 +90,10 @@ class Dataflow:
                 raise ValueError(
                     f"edge {edge.src}->{edge.dst} references unknown "
                     f"device")
+        for device in self.coherence:
+            if device not in known:
+                raise ValueError(
+                    f"coherence mode for unknown device {device!r}")
 
     # -- graph structure -----------------------------------------------------
 
@@ -155,7 +164,10 @@ class Dataflow:
                               dst=mapping.get(e.dst, e.dst),
                               comm=e.comm)
                  for e in self.edges]
-        return Dataflow(name=self.name, devices=devices, edges=edges)
+        coherence = {mapping.get(d, d): m
+                     for d, m in self.coherence.items()}
+        return Dataflow(name=self.name, devices=devices, edges=edges,
+                        coherence=coherence)
 
     # -- validation --------------------------------------------------------------
 

@@ -34,9 +34,8 @@ from ..soc import (
     CMD_REG,
     CMD_RESET,
     CMD_START,
-    COHERENCE_LLC,
-    COHERENCE_NON_COHERENT,
     COHERENCE_REG,
+    CoherenceMode,
     DVFS_REG,
     DST_OFFSET_REG,
     DST_STRIDE_REG,
@@ -48,6 +47,7 @@ from ..soc import (
     STATUS_DONE,
     STATUS_REG,
     SoCInstance,
+    resolve_coherence,
 )
 from .alloc import Buffer, ContigAllocator
 from .dataflow import Dataflow, EXECUTION_MODES
@@ -126,7 +126,9 @@ class ExecutionPlan:
     input_buffer: Buffer
     output_buffer: Buffer
     inter_buffers: List[Optional[Buffer]]   # one per level boundary
-    coherent: bool = False                  # LLC-coherent DMA
+    #: Per-device DMA coherence mode; devices not in the mapping run
+    #: non-coherent (the seed behaviour).
+    coherence: Dict[str, CoherenceMode] = field(default_factory=dict)
     dvfs: Dict[str, int] = field(default_factory=dict)  # device -> divider
     #: Pipeline threads spawned for this plan (plan-local so concurrent
     #: plans never clobber each other's thread lists).
@@ -151,6 +153,15 @@ class ExecutionPlan:
                 if node.name == name:
                     return node
         raise KeyError(name)
+
+    def mode_for(self, name: str) -> CoherenceMode:
+        return self.coherence.get(name, CoherenceMode.NON_COHERENT)
+
+    @property
+    def coherent(self) -> bool:
+        """Back-compat view: any device running a cached mode."""
+        return any(mode is not CoherenceMode.NON_COHERENT
+                   for mode in self.coherence.values())
 
     @property
     def device_names(self) -> List[str]:
@@ -233,8 +244,47 @@ class DataflowExecutor:
 
     # -- planning ----------------------------------------------------------
 
+    @staticmethod
+    def _resolve_modes(dataflow: Dataflow, coherence,
+                       coherent) -> Dict[str, CoherenceMode]:
+        """Per-device coherence assignment for one plan.
+
+        ``coherence`` may be a single mode (enum, string or — via the
+        deprecated ``coherent`` boolean — LLC on/off) applied to every
+        device, or a mapping ``device -> mode`` for mixed-mode
+        pipelines; call-level assignments overlay any modes the
+        dataflow itself declares. Non-coherent devices are left out of
+        the result so the default plan is empty (seed behaviour).
+        """
+        modes: Dict[str, CoherenceMode] = {
+            device: CoherenceMode.coerce(value)
+            for device, value in dataflow.coherence.items()}
+        if isinstance(coherence, dict):
+            if coherent is not None:
+                raise TypeError(
+                    "pass either coherence= or the deprecated "
+                    "coherent=, not both")
+            overlay = coherence
+        else:
+            uniform = resolve_coherence(coherence, coherent,
+                                        stacklevel=5)
+            if uniform is CoherenceMode.NON_COHERENT \
+                    and coherence is None and coherent is None:
+                overlay = {}
+            else:
+                overlay = {device: uniform
+                           for device in dataflow.devices}
+        for device, value in overlay.items():
+            if device not in dataflow.devices:
+                raise ValueError(
+                    f"coherence mode given for {device!r}, which is "
+                    f"not in the dataflow")
+            modes[device] = CoherenceMode.coerce(value)
+        return {device: mode for device, mode in modes.items()
+                if mode is not CoherenceMode.NON_COHERENT}
+
     def plan(self, dataflow: Dataflow, n_frames: int,
-             mode: str, coherent: bool = False,
+             mode: str, coherence=None, coherent=None,
              dvfs: Optional[Dict[str, int]] = None) -> ExecutionPlan:
         if mode not in EXECUTION_MODES:
             raise ValueError(
@@ -247,6 +297,7 @@ class DataflowExecutor:
             dataflow.validate_for_custom()
         else:
             dataflow.validate()
+        modes = self._resolve_modes(dataflow, coherence, coherent)
         dvfs = dict(dvfs or {})
         for device, divider in dvfs.items():
             if device not in dataflow.devices:
@@ -299,7 +350,8 @@ class DataflowExecutor:
                              input_buffer=input_buffer,
                              output_buffer=output_buffer,
                              inter_buffers=inter_buffers,
-                             coherent=coherent, dvfs=dvfs,
+                             coherence=modes,
+                             dvfs=dvfs,
                              abort=self.soc.env.event())
         tracer = self.soc.env.tracer
         if tracer is not None:
@@ -331,7 +383,7 @@ class DataflowExecutor:
     def _program_and_start(self, node: NodePlan, src_offset: int,
                            dst_offset: int, n_frames: int, p2p: P2PConfig,
                            src_stride: int, dst_stride: int,
-                           coherent: bool, divider: int):
+                           coherence: CoherenceMode, divider: int):
         """The driver's register-programming sequence, ending CMD_START."""
         env = self.soc.env
         cpu = self.soc.cpu
@@ -343,8 +395,7 @@ class DataflowExecutor:
             (DST_STRIDE_REG, dst_stride),
             (N_FRAMES_REG, n_frames),
             (P2P_REG, p2p.encode()),
-            (COHERENCE_REG,
-             COHERENCE_LLC if coherent else COHERENCE_NON_COHERENT),
+            (COHERENCE_REG, coherence.register_value),
             (DVFS_REG, divider),
             (CMD_REG, CMD_START),
         )
@@ -361,7 +412,8 @@ class DataflowExecutor:
     def _invoke(self, plan: ExecutionPlan, node: NodePlan,
                 src_offset: int, dst_offset: int,
                 n_frames: int, p2p: P2PConfig, src_stride: int = 0,
-                dst_stride: int = 0, coherent: bool = False,
+                dst_stride: int = 0,
+                coherence: CoherenceMode = CoherenceMode.NON_COHERENT,
                 divider: int = 1):
         """Configure the device over the NoC, start it, await its IRQ."""
         env = self.soc.env
@@ -378,7 +430,7 @@ class DataflowExecutor:
             tracer.end(sid)
         yield from self._program_and_start(
             node, src_offset, dst_offset, n_frames, p2p, src_stride,
-            dst_stride, coherent, divider)
+            dst_stride, coherence, divider)
         sid = None if tracer is None else tracer.begin(
             "cpu", tid, "wait-completion", "runtime.irq_wait",
             device=node.name)
@@ -456,7 +508,8 @@ class DataflowExecutor:
     def _invoke_guarded(self, plan: ExecutionPlan, node: NodePlan,
                         src_offset: int,
                         dst_offset: int, n_frames: int, p2p: P2PConfig,
-                        src_stride: int, dst_stride: int, coherent: bool,
+                        src_stride: int, dst_stride: int,
+                        coherence: CoherenceMode,
                         divider: int, max_attempts: int):
         """Watchdogged invocation with bounded retry; True on success.
 
@@ -498,7 +551,7 @@ class DataflowExecutor:
                 pass
             yield from self._program_and_start(
                 node, src_offset, dst_offset, n_frames, p2p, src_stride,
-                dst_stride, coherent, divider)
+                dst_stride, coherence, divider)
             sid = None if tracer is None else tracer.begin(
                 "cpu", tid, "wait-completion", "runtime.irq_wait",
                 device=node.name, attempt=attempt)
@@ -575,11 +628,12 @@ class DataflowExecutor:
         degrade).
         """
         divider = plan.dvfs.get(node.name, 1)
+        node_mode = plan.mode_for(node.name)
         if self.recovery is None:
             yield from self._invoke(
                 plan, node, src_offset, dst_offset, n_frames, p2p,
                 src_stride=src_stride, dst_stride=dst_stride,
-                coherent=plan.coherent, divider=divider)
+                coherence=node_mode, divider=divider)
             return
         policy = self.recovery
         streaming = p2p.uses_p2p
@@ -598,7 +652,7 @@ class DataflowExecutor:
         attempts = 1 if streaming else policy.max_retries + 1
         ok = yield from self._invoke_guarded(
             plan, node, src_offset, dst_offset, n_frames, p2p, src_stride,
-            dst_stride, plan.coherent, divider, attempts)
+            dst_stride, node_mode, divider, attempts)
         if ok:
             return
         if node.name in self.forced_software:
@@ -841,17 +895,21 @@ class DataflowExecutor:
     # -- entry point --------------------------------------------------------------------
 
     def execute(self, dataflow: Dataflow, frames: np.ndarray,
-                mode: str, coherent: bool = False,
+                mode: str, coherence=None, coherent=None,
                 dvfs: Optional[Dict[str, int]] = None) -> RunResult:
         """Run the dataflow over ``frames`` (N x input_words).
 
-        ``coherent`` selects LLC-coherent DMA for every transaction of
-        the run (requires a memory tile with an LLC; without one the
-        flag silently behaves like non-coherent DMA, as in ESP where
-        the fabric downgrades unsupported coherence requests).
+        ``coherence`` selects the DMA coherence model — one
+        :class:`CoherenceMode` (or its string value) for the whole run,
+        or a ``device -> mode`` mapping so each accelerator picks its
+        own. Cached modes require a memory tile with an LLC; without
+        one the request silently behaves like non-coherent DMA, as in
+        ESP where the fabric downgrades unsupported coherence
+        requests. The boolean ``coherent=`` alias is deprecated.
         """
         frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
-        plan = self.plan(dataflow, len(frames), mode, coherent=coherent,
+        plan = self.plan(dataflow, len(frames), mode,
+                         coherence=coherence, coherent=coherent,
                          dvfs=dvfs)
         in_words = plan.levels[0][0].spec.input_words
         if frames.shape[1] != in_words:
@@ -886,7 +944,7 @@ class DataflowExecutor:
                 # inside the quiesce drain and keep spawning threads for
                 # the aborted run.
                 done.interrupt("degraded re-run")
-            plan = self._degrade(plan, dataflow, frames, coherent, dvfs)
+            plan = self._degrade(plan, dataflow, frames, dvfs)
             degraded = True
         except BaseException:
             # Any other mid-pipeline failure (AcceleratorTimeout,
@@ -926,7 +984,7 @@ class DataflowExecutor:
         )
 
     def _degrade(self, plan: ExecutionPlan, dataflow: Dataflow,
-                 frames: np.ndarray, coherent: bool,
+                 frames: np.ndarray,
                  dvfs: Optional[Dict[str, int]]) -> ExecutionPlan:
         """Graceful degradation after a p2p stream died permanently.
 
@@ -947,7 +1005,7 @@ class DataflowExecutor:
         self._drain_stale_irqs(plan)
         self.release_plan(plan)
         replan = self.plan(dataflow, len(frames), "pipe",
-                           coherent=coherent, dvfs=dvfs)
+                           coherence=plan.coherence, dvfs=dvfs)
         replan.input_buffer.write(frames.reshape(-1))
         done = env.process(self._pipe_main(replan),
                            name=f"main:degraded:{dataflow.name}")
@@ -1035,7 +1093,7 @@ class DataflowExecutor:
         self.release_plan(plan)
 
     def _degrade_in_process(self, plan: ExecutionPlan, dataflow: Dataflow,
-                            frames: np.ndarray, coherent: bool,
+                            frames: np.ndarray,
                             dvfs: Optional[Dict[str, int]]):
         """In-process graceful degradation (serving-loop counterpart of
         :meth:`_degrade`, which may not ``env.run`` inside a process).
@@ -1047,7 +1105,7 @@ class DataflowExecutor:
         yield from self._abort_and_release(plan)
         yield env.timeout(self.recovery.reset_cycles)
         replan = self.plan(dataflow, len(frames), "pipe",
-                           coherent=coherent, dvfs=dvfs)
+                           coherence=plan.coherence, dvfs=dvfs)
         replan.input_buffer.write(frames.reshape(-1))
         # Carry the aborted attempt's accounting so the RunResult
         # reflects the whole request, not just the re-run.
@@ -1061,7 +1119,7 @@ class DataflowExecutor:
     # -- re-entrant entry point (serving layer) -----------------------------------
 
     def run_process(self, dataflow: Dataflow, frames: np.ndarray,
-                    mode: str, coherent: bool = False,
+                    mode: str, coherence=None, coherent=None,
                     dvfs: Optional[Dict[str, int]] = None,
                     release_buffers: bool = True):
         """Re-entrant ``execute``: a generator to run as a sim process.
@@ -1085,7 +1143,8 @@ class DataflowExecutor:
           long-lived server does not leak DRAM.
         """
         frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
-        plan = self.plan(dataflow, len(frames), mode, coherent=coherent,
+        plan = self.plan(dataflow, len(frames), mode,
+                         coherence=coherence, coherent=coherent,
                          dvfs=dvfs)
         in_words = plan.levels[0][0].spec.input_words
         if frames.shape[1] != in_words:
@@ -1108,7 +1167,7 @@ class DataflowExecutor:
                 yield from self._abort_and_release(plan)
                 raise
             plan = yield from self._degrade_in_process(
-                plan, dataflow, frames, coherent, dvfs)
+                plan, dataflow, frames, dvfs)
             degraded = True
         except BaseException:
             # Includes Interrupt (the server cancelling this request):

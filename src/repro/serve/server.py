@@ -37,7 +37,8 @@ import numpy as np
 from ..eval.harness import LatencySummary, summarize_latencies
 from ..runtime import Dataflow, DataflowExecutor, EspRuntime
 from ..sim import Environment, Interrupt, Process, ProgressCounter
-from ..soc import TileActivity, activity_delta, tile_activity
+from ..soc import (CoherenceMode, TileActivity, activity_delta,
+                   tile_activity)
 from .arbiter import TileArbiter, TileUnavailable
 from .batcher import Batch, Batcher
 from .queue import RequestQueue
@@ -63,6 +64,11 @@ class TenantConfig:
     #: After the first request arrives, wait this long for more to
     #: coalesce before dispatching (0 = dispatch immediately).
     batch_window_cycles: int = 0
+    #: DMA coherence for the tenant's runs: a single
+    #: :class:`~repro.soc.CoherenceMode` (or string value), or a
+    #: ``device -> mode`` mapping. ``None`` falls back to the
+    #: deprecated ``coherent`` boolean below.
+    coherence: Optional[object] = None
     coherent: bool = False
     dvfs: Optional[Dict[str, int]] = None
 
@@ -571,9 +577,12 @@ class InferenceServer:
         error: Optional[BaseException] = None
         result = None
         try:
+            coherence = config.coherence
+            if coherence is None and config.coherent:
+                coherence = CoherenceMode.LLC_COHERENT
             result = yield from self.executor.run_process(
                 config.dataflow, batch.frames, config.mode,
-                coherent=config.coherent, dvfs=config.dvfs)
+                coherence=coherence, dvfs=config.dvfs)
         except Interrupt:
             if sid is not None:
                 tracer.end(sid, outcome="interrupted")

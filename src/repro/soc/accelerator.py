@@ -15,13 +15,13 @@ from ..accelerators.base import AcceleratorSpec
 from ..faults.errors import KernelCrash
 from ..noc import IO_PLANE, Mesh2D, MessageKind, Packet
 from ..sim import Environment, Event, Semaphore
+from .coherence import CoherenceMode
 from .dma import DmaEngine
 from .memory import MemoryMap
 from .registers import (
     CMD_REG,
     CMD_RESET,
     CMD_START,
-    COHERENCE_LLC,
     COHERENCE_REG,
     DVFS_REG,
     DST_OFFSET_REG,
@@ -84,7 +84,8 @@ class AcceleratorTile:
     def __init__(self, env: Environment, mesh: Mesh2D, coord: Coord,
                  spec: AcceleratorSpec, memory_map: MemoryMap,
                  device_name: str, irq_dst: Coord,
-                 tlb: Optional[Tlb] = None) -> None:
+                 tlb: Optional[Tlb] = None,
+                 private_cache_words: Optional[int] = None) -> None:
         self.env = env
         self.mesh = mesh
         self.coord = coord
@@ -96,7 +97,8 @@ class AcceleratorTile:
         self.dma = DmaEngine(env, mesh, coord, memory_map, tlb=tlb,
                              word_bits=spec.word_bits,
                              max_burst_words=max(spec.input_words,
-                                                 spec.output_words))
+                                                 spec.output_words),
+                             private_cache_words=private_cache_words)
         self.dma.owner = device_name
         self._start = Semaphore(env, name=f"start:{device_name}")
         self.regs.on_write(self._on_reg_write)
@@ -164,7 +166,8 @@ class AcceleratorTile:
             p2p=self.regs.p2p_config(),
             src_stride=self.regs.read(SRC_STRIDE_REG),
             dst_stride=self.regs.read(DST_STRIDE_REG),
-            coherent=self.regs.read(COHERENCE_REG) == COHERENCE_LLC,
+            coherence=CoherenceMode.from_register(
+                self.regs.read(COHERENCE_REG)),
             clock_divider=min(MAX_DVFS_DIVIDER,
                               max(1, self.regs.read(DVFS_REG))),
         )

@@ -28,6 +28,9 @@ class TileConfig:
     spec: Optional[AcceleratorSpec] = None
     mem_size_words: int = 1 << 22
     llc_words: int = 0          # >0: memory tile hosts an LLC
+    #: Accelerator tiles: private-cache capacity for fully-coherent
+    #: DMA (None = the repro.soc.coherence default).
+    private_cache_words: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TILE_KINDS:
@@ -88,11 +91,14 @@ class SoCConfig:
         self._place(coord, TileConfig(kind="aux", name="aux"))
 
     def add_accelerator(self, coord: Coord, name: str,
-                        spec: AcceleratorSpec) -> None:
+                        spec: AcceleratorSpec,
+                        private_cache_words: Optional[int] = None) -> None:
         for existing in self.tiles.values():
             if existing.kind == "acc" and existing.name == name:
                 raise ValueError(f"device name {name!r} already used")
-        self._place(coord, TileConfig(kind="acc", name=name, spec=spec))
+        self._place(coord, TileConfig(
+            kind="acc", name=name, spec=spec,
+            private_cache_words=private_cache_words))
 
     def next_free(self) -> Coord:
         """First unassigned slot in row-major order."""

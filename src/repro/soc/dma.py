@@ -33,6 +33,9 @@ import numpy as np
 
 from ..fixed import words_to_flits
 from ..noc import (
+    COH_FORWARD_PLANE,
+    COH_REQUEST_PLANE,
+    COH_RESPONSE_PLANE,
     DMA_REQUEST_PLANE,
     DMA_RESPONSE_PLANE,
     Mesh2D,
@@ -40,7 +43,22 @@ from ..noc import (
     Packet,
 )
 from ..sim import Environment, Fifo
-from .memory import DmaRequest, MemoryMap
+from .coherence import (
+    CoherenceMode,
+    CoherenceReply,
+    CoherenceRequest,
+    CoherenceWriteback,
+    DEFAULT_PRIVATE_CACHE_WORDS,
+    EXCLUSIVE,
+    InvalidateAck,
+    InvalidateRequest,
+    MODIFIED,
+    PrivateCache,
+    SHARED,
+    line_list_flits,
+    resolve_coherence,
+)
+from .memory import DmaRequest, MemoryMap, MemoryTile
 from .registers import P2PConfig
 from .tlb import Tlb
 
@@ -66,7 +84,8 @@ class DmaEngine:
 
     def __init__(self, env: Environment, mesh: Mesh2D, coord: Coord,
                  memory_map: MemoryMap, tlb: Optional[Tlb] = None,
-                 word_bits: int = 16, max_burst_words: int = 1024) -> None:
+                 word_bits: int = 16, max_burst_words: int = 1024,
+                 private_cache_words: Optional[int] = None) -> None:
         if max_burst_words < 1:
             raise ValueError("max_burst_words must be >= 1")
         self.env = env
@@ -84,6 +103,15 @@ class DmaEngine:
         # p2p sender side: produced chunks wait here, on demand.
         self._p2p_store_queue = Fifo(env, capacity=P2P_QUEUE_DEPTH,
                                      name=f"p2p-store{coord}")
+
+        # Fully-coherent machinery, created lazily on the first
+        # fully-coherent transaction (never at SoC build: the pinned
+        # seed event counts require a mode nobody uses to cost zero
+        # processes). ``private_cache_words`` sizes the tile's private
+        # cache (None = DEFAULT_PRIVATE_CACHE_WORDS).
+        self.private_cache_words = private_cache_words
+        self.cache: Optional[PrivateCache] = None
+        self.coherence_downgrades = 0
 
         # Statistics.
         self.dma_loads = 0
@@ -173,6 +201,12 @@ class DmaEngine:
             dropped += queue.flush()
         self._responses.clear()
         self._p2p_round_robin = 0
+        if self.cache is not None:
+            # A hardware reset drops the private cache; the functional
+            # data lives in the backing store, so nothing is lost —
+            # stale directory state resolves as empty-handed
+            # invalidation acks later.
+            self.cache.flush()
         return dropped
 
     # -- regular DMA ---------------------------------------------------------
@@ -261,6 +295,220 @@ class DmaEngine:
         # because its request queue is FIFO).
         for send in sends:
             yield send
+        self.dma_stores += 1
+        self.words_stored += n_words
+        metrics = self.env.metrics
+        if metrics is not None:
+            self._record_transaction(metrics, "dma_store", n_words)
+        if sid is not None:
+            tracer.end(sid)
+        return None
+
+    # -- fully-coherent (private cache + MESI-style protocol) ------------------
+
+    def _fc_supported(self, offset: int, n_words: int) -> bool:
+        """Every memory tile owning the range hosts an LLC (the
+        directory point); without one the fabric downgrades the
+        request to non-coherent DMA, as ESP does for coherence models
+        a tile was not built with."""
+        return all(tile.llc is not None for tile, _, _ in
+                   self.memory_map.split_range(offset, n_words))
+
+    def _ensure_fc(self) -> PrivateCache:
+        """First fully-coherent transaction: build the private cache
+        and spawn the tile's two protocol servers (lazily, so unused
+        coherence machinery costs zero events)."""
+        if self.cache is None:
+            line_words = 16
+            for tile in self.memory_map.tiles:
+                if tile.llc is not None:
+                    line_words = tile.llc.line_words
+                    break
+            self.cache = PrivateCache(
+                capacity_words=self.private_cache_words
+                or DEFAULT_PRIVATE_CACHE_WORDS,
+                line_words=line_words)
+            self.env.process(self._fc_rsp_dispatcher(),
+                             name=f"coh-rsp-dispatch{self.coord}")
+            self.env.process(self._fc_inv_server(),
+                             name=f"coh-inv-server{self.coord}")
+        return self.cache
+
+    def _fc_rsp_dispatcher(self):
+        """Demultiplex coh-rsp grants by transaction tag."""
+        inbox = self.mesh.inbox(self.coord, COH_RESPONSE_PLANE)
+        while True:
+            packet = yield inbox.get()
+            if not isinstance(packet.payload, CoherenceReply):
+                raise TypeError(
+                    f"accelerator tile {self.coord} got unexpected "
+                    f"coh-rsp payload {packet.payload!r}")
+            yield self._response_queue(packet.tag).put(packet)
+
+    def _fc_inv_server(self):
+        """Answer directory invalidations / recalls on coh-fwd.
+
+        Runs independently of any in-flight transaction of this tile,
+        so two tiles' transactions can invalidate each other without
+        deadlock. The ack returns on coh-rsp, carrying the data of
+        lines that were locally dirty (a MESI recall)."""
+        cache = self.cache
+        inbox = self.mesh.inbox(self.coord, COH_FORWARD_PLANE)
+        while True:
+            packet = yield inbox.get()
+            request = packet.payload
+            if not isinstance(request, InvalidateRequest):
+                raise TypeError(
+                    f"accelerator tile {self.coord} got unexpected "
+                    f"coh-fwd payload {request!r}")
+            yield self.env.timeout(cache.hit_latency)
+            dirty = tuple(line for line in request.lines
+                          if cache.invalidate(line))
+            flits = self._flits(len(dirty) * cache.line_words,
+                                COH_RESPONSE_PLANE) if dirty \
+                else line_list_flits(len(request.lines))
+            self.mesh.send(Packet(
+                src=self.coord, dst=request.reply_to,
+                plane=COH_RESPONSE_PLANE, kind=MessageKind.COH_ACK,
+                payload_flits=flits,
+                payload=InvalidateAck(lines=request.lines,
+                                      dirty_lines=dirty,
+                                      tag=request.tag),
+                tag=request.tag))
+
+    def _line_tile(self, line: int) -> MemoryTile:
+        return self.memory_map.owner(line * self.cache.line_words)[0]
+
+    def _fc_writebacks(self, victims):
+        """Writeback packets for evicted dirty lines.
+
+        No ack is awaited (the directory absorbs them asynchronously),
+        but injection is serialized: the victim data leaves through
+        the same tile port as every other transfer, so a store stream
+        that thrashes the private cache pays for the traffic it
+        generates instead of getting eviction bandwidth for free.
+        """
+        cache = self.cache
+        by_tile = {}
+        for line in victims:
+            by_tile.setdefault(self._line_tile(line), []).append(line)
+        for tile, lines in by_tile.items():
+            yield self.mesh.send(Packet(
+                src=self.coord, dst=tile.coord,
+                plane=COH_RESPONSE_PLANE, kind=MessageKind.COH_WB,
+                payload_flits=self._flits(
+                    len(lines) * cache.line_words, COH_RESPONSE_PLANE),
+                payload=CoherenceWriteback(lines=tuple(lines),
+                                           word_bits=self.word_bits),
+                tag=None))
+
+    def _fc_transaction(self, offset: int, n_words: int, write: bool):
+        """One fully-coherent load/store through the private cache.
+
+        The cache hierarchy handles the word-granularity access, so
+        (unlike DMA) there is no TLB walk — this is why the mode wins
+        on small footprints. Lines hit locally or join a batched
+        request per owning memory tile (GETS for reads; GETM with fill
+        for partial-line stores; an upgrade — no data — for S-state
+        hits and full-line overwrites). Grants install lines S/E/M;
+        dirty victims stream back as writeback packets.
+        """
+        cache = self.cache
+        line_words = cache.line_words
+        end = offset + n_words
+        hit_lines = 0
+        per_tile: Dict[MemoryTile, Tuple[list, list, list]] = {}
+        for line in cache.lines_of(offset, n_words):
+            if cache.touch(line, write=write) is not None:
+                hit_lines += 1
+                continue
+            gets, getm, upgrades = per_tile.setdefault(
+                self._line_tile(line), ([], [], []))
+            if not write:
+                gets.append(line)
+            else:
+                line_start = line * line_words
+                full_cover = (offset <= line_start
+                              and line_start + line_words <= end)
+                state = cache.state(line)
+                # An S-state write needs ownership but no data; so
+                # does a store that overwrites the whole line.
+                if state == SHARED or full_cover:
+                    upgrades.append(line)
+                else:
+                    getm.append(line)
+        if hit_lines:
+            yield self.env.timeout(
+                cache.hit_latency
+                + (hit_lines * line_words + 7) // 8)
+        if not per_tile:
+            return
+        pending = []
+        for tile, (gets, getm, upgrades) in per_tile.items():
+            tile.ensure_directory()
+            tag = self._new_tag()
+            request = CoherenceRequest(
+                gets_lines=tuple(gets), getm_lines=tuple(getm),
+                upgrade_lines=tuple(upgrades), requester=self.coord,
+                tag=tag, word_bits=self.word_bits)
+            self.mesh.send(Packet(
+                src=self.coord, dst=tile.coord,
+                plane=COH_REQUEST_PLANE, kind=MessageKind.COH_REQ,
+                payload_flits=line_list_flits(len(request.all_lines)),
+                payload=request, tag=tag))
+            pending.append((tag, request))
+        victims = []
+        for tag, request in pending:
+            packet = yield self._response_queue(tag).get()
+            del self._responses[tag]
+            reply = packet.payload
+            exclusive = set(reply.exclusive_lines)
+            for line in request.gets_lines:
+                victim = cache.install(
+                    line, EXCLUSIVE if line in exclusive else SHARED)
+                if victim is not None:
+                    victims.append(victim)
+            for line in request.getm_lines + request.upgrade_lines:
+                victim = cache.install(line, MODIFIED)
+                if victim is not None:
+                    victims.append(victim)
+        if victims:
+            yield from self._fc_writebacks(victims)
+
+    def _fc_load(self, offset: int, n_words: int):
+        tracer = self.env.tracer
+        sid = None if tracer is None else tracer.begin(
+            self.owner, "dma.load", f"fc-load[{n_words}w]", "coh.load",
+            offset=offset, words=n_words)
+        if self.fault_injector is not None:
+            yield from self._maybe_stall()
+        yield from self._fc_transaction(offset, n_words, write=False)
+        data = self.memory_map.read_words(offset, n_words)
+        self.dma_loads += 1
+        self.words_loaded += n_words
+        metrics = self.env.metrics
+        if metrics is not None:
+            self._record_transaction(metrics, "dma_load", n_words)
+        if sid is not None:
+            tracer.end(sid)
+        return data
+
+    def _fc_store(self, offset: int, data: np.ndarray):
+        data = np.asarray(data, dtype=np.float64).reshape(-1)
+        n_words = len(data)
+        tracer = self.env.tracer
+        sid = None if tracer is None else tracer.begin(
+            self.owner, "dma.store", f"fc-store[{n_words}w]",
+            "coh.store", offset=offset, words=n_words)
+        if self.fault_injector is not None:
+            yield from self._maybe_stall()
+        yield from self._fc_transaction(offset, n_words, write=True)
+        # The functional write is out-of-band (zero simulated time):
+        # the backing store always holds current data, the dirty
+        # private lines only shape timing and writeback traffic. A
+        # fully-coherent store is therefore *not* posted — completion
+        # means ownership was granted, so no quiesce accounting.
+        self.memory_map.write_words(offset, data)
         self.dma_stores += 1
         self.words_stored += n_words
         metrics = self.env.metrics
@@ -364,24 +612,47 @@ class DmaEngine:
         self._p2p_round_robin = 0
 
     def load(self, offset: int, n_words: int,
-             p2p: Optional[P2PConfig] = None, coherent: bool = False):
+             p2p: Optional[P2PConfig] = None,
+             coherence=None, coherent=None):
         """Load ``n_words`` into the PLM; DMA or p2p per configuration.
 
-        ``coherent`` selects LLC-coherent DMA (served through the
-        memory tile's last-level cache when one exists). A generator to
-        be driven with ``yield from``; returns the data.
+        ``coherence`` selects the cache-coherence model
+        (:class:`CoherenceMode` or its string value): non-coherent DMA
+        straight to DRAM, LLC-coherent DMA through the memory tile's
+        last-level cache, or the fully-coherent private-cache path.
+        The boolean ``coherent=`` alias is deprecated (True maps onto
+        LLC-coherent). A generator to be driven with ``yield from``;
+        returns the data.
         """
         if n_words < 1:
             raise ValueError(f"n_words must be >= 1, got {n_words}")
+        mode = resolve_coherence(coherence, coherent)
         if p2p is not None and p2p.load_enabled:
             return (yield from self._p2p_load(n_words, p2p))
-        return (yield from self._dma_load(offset, n_words,
-                                          coherent=coherent))
+        if mode is CoherenceMode.FULLY_COHERENT:
+            if self._fc_supported(offset, n_words):
+                self._ensure_fc()
+                return (yield from self._fc_load(offset, n_words))
+            self.coherence_downgrades += 1
+            mode = CoherenceMode.NON_COHERENT
+        return (yield from self._dma_load(
+            offset, n_words,
+            coherent=mode is CoherenceMode.LLC_COHERENT))
 
     def store(self, offset: int, data: np.ndarray,
-              p2p: Optional[P2PConfig] = None, coherent: bool = False):
+              p2p: Optional[P2PConfig] = None,
+              coherence=None, coherent=None):
         """Store a PLM buffer; DMA or p2p per configuration."""
+        mode = resolve_coherence(coherence, coherent)
         if p2p is not None and p2p.store_enabled:
             return (yield from self._p2p_store(data))
-        return (yield from self._dma_store(offset, data,
-                                           coherent=coherent))
+        if mode is CoherenceMode.FULLY_COHERENT:
+            data = np.asarray(data, dtype=np.float64).reshape(-1)
+            if self._fc_supported(offset, max(1, len(data))):
+                self._ensure_fc()
+                return (yield from self._fc_store(offset, data))
+            self.coherence_downgrades += 1
+            mode = CoherenceMode.NON_COHERENT
+        return (yield from self._dma_store(
+            offset, data,
+            coherent=mode is CoherenceMode.LLC_COHERENT))

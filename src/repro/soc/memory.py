@@ -85,8 +85,32 @@ class MemoryTile:
         # Set by the owning MemoryMap; lets the tile retire posted
         # stores for the map-level quiescence tracking.
         self.parent_map: Optional["MemoryMap"] = None
+        #: Global word address of this tile's first word (set by the
+        #: MemoryMap) — the coherence directory maps global cache-line
+        #: ids onto the tile-local LLC with it.
+        self.base_words = 0
+        #: Lazily-created coherence directory (fully-coherent mode
+        #: only); ``None`` means no fully-coherent transaction has ever
+        #: targeted this tile and no directory process exists.
+        self.directory = None
         self._server_proc = env.process(self._server(),
                                         name=f"mem-server{coord}")
+
+    def ensure_directory(self):
+        """The tile's coherence directory, created on first use.
+
+        Lazy by contract: the directory spawns two processes, and the
+        pinned-seed timing invariant requires a SoC that never issues a
+        fully-coherent transaction to schedule exactly the same events
+        as one built before the mode existed. Returns ``None`` when the
+        tile hosts no LLC — the fabric then downgrades fully-coherent
+        requests, exactly as the flag-era LLC-coherent path degrades
+        without an LLC.
+        """
+        if self.directory is None and self.llc is not None:
+            from .coherence import CoherenceDirectory
+            self.directory = CoherenceDirectory(self)
+        return self.directory
 
     # -- direct (software) access: processor loads/stores ------------------
 
@@ -245,6 +269,7 @@ class MemoryMap:
         base = 0
         for tile in self.tiles:
             self._bases.append(base)
+            tile.base_words = base
             base += tile.size_words
             tile.parent_map = self
         self.total_words = base

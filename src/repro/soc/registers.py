@@ -39,9 +39,13 @@ CMD_START = 1
 CMD_RESET = 2
 
 #: COHERENCE_REG values: ESP accelerators select their coherence model
-#: at run time (Giri et al. [12], [14]).
+#: at run time (Giri et al. [12], [14]). ``COHERENCE_FULL`` selects the
+#: fully-coherent model: a private cache at the accelerator tile kept
+#: coherent over the NoC's three coherence planes
+#: (:mod:`repro.soc.coherence`).
 COHERENCE_NON_COHERENT = 0
 COHERENCE_LLC = 1
+COHERENCE_FULL = 2
 
 STATUS_IDLE = 0
 STATUS_RUNNING = 1

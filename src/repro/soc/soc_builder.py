@@ -123,7 +123,8 @@ def build_soc(config: SoCConfig,
     for coord, tile in config.tiles_of_kind("acc"):
         accelerators[tile.name] = AcceleratorTile(
             env, mesh, coord, tile.spec, memory_map,
-            device_name=tile.name, irq_dst=cpu_coord)
+            device_name=tile.name, irq_dst=cpu_coord,
+            private_cache_words=tile.private_cache_words)
 
     aux_tiles = [AuxTile(env, mesh, coord)
                  for coord, _ in config.tiles_of_kind("aux")]

@@ -37,6 +37,7 @@ CATEGORY_GROUPS: Tuple[Tuple[str, str], ...] = (
     ("acc.compute", "compute"),
     ("acc.load", "dma"),
     ("acc.store", "dma"),
+    ("coh", "dma"),          # coh.load / coh.store / coh.directory
     ("dma", "dma"),
     ("noc", "noc"),
     ("runtime.ioctl", "software"),

@@ -1,0 +1,27 @@
+"""Coherence auto-tuning: profile a dataflow, assign per-device modes.
+
+See :mod:`repro.tune.tuner` for the profile -> recommend -> verify
+pipeline and :mod:`repro.tune.workloads` for the ablation suite the
+benchmark and the ``python -m repro tune`` command sweep.
+"""
+
+from .tuner import (
+    DeviceProfile,
+    TuneProfile,
+    TuneResult,
+    UNIFORM_MODES,
+    autotune,
+    profile_dataflow,
+)
+from .workloads import Workload, ablation_workloads
+
+__all__ = [
+    "DeviceProfile",
+    "TuneProfile",
+    "TuneResult",
+    "UNIFORM_MODES",
+    "Workload",
+    "ablation_workloads",
+    "autotune",
+    "profile_dataflow",
+]

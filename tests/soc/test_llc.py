@@ -62,6 +62,70 @@ class TestCacheModel:
         llc.access_line(0, write=False)
         assert llc.hit_rate == 0.5
 
+    def test_writeback_accounting_across_evictions(self):
+        """Every dirty eviction is one writeback; clean evictions are
+        free, and a flush never double-counts a line already written
+        back by an eviction."""
+        llc = LastLevelCache(capacity_words=32, line_words=16, ways=2)
+        # Single set (32 / (16*2)): every line aliases into it.
+        llc.access_line(0, write=True)    # dirty
+        llc.access_line(1, write=True)    # dirty
+        _, wb = llc.access_line(2, write=False)   # evicts dirty 0
+        assert wb and llc.writebacks == 1
+        _, wb = llc.access_line(3, write=False)   # evicts dirty 1
+        assert wb and llc.writebacks == 2
+        _, wb = llc.access_line(4, write=False)   # evicts clean 2
+        assert not wb and llc.writebacks == 2
+        assert llc.evictions == 3
+        # Lines 3 (clean) and 4 (clean) remain: nothing left to flush.
+        assert llc.flush() == 0
+        assert llc.writebacks == 2
+
+    def test_rewritten_line_stays_dirty_until_written_back(self):
+        """A read hit must not launder a dirty line clean."""
+        llc = LastLevelCache(capacity_words=32, line_words=16, ways=2)
+        llc.access_line(0, write=True)
+        llc.access_line(0, write=False)   # read hit on the dirty line
+        llc.access_line(1, write=False)
+        _, wb = llc.access_line(2, write=False)   # evicts line 0
+        assert wb and llc.writebacks == 1
+
+    def test_line_granularity_aliasing(self):
+        """Word addresses within one line are the same cache entry:
+        two accelerators' buffers that straddle a line boundary share
+        (and fight over) the boundary line."""
+        llc = LastLevelCache(capacity_words=1024, line_words=16, ways=4)
+        # Buffer A = words [0, 24), buffer B = words [24, 48): line 1
+        # (words 16..31) belongs to both.
+        a_lines = set(llc.lines_of(0, 24))
+        b_lines = set(llc.lines_of(24, 24))
+        assert a_lines == {0, 1}
+        assert b_lines == {1, 2}
+        assert a_lines & b_lines == {1}
+        # A misses line 1 in; B's first touch of line 1 is then a hit.
+        for line in sorted(a_lines):
+            hit, _ = llc.access_line(line, write=True)
+            assert not hit
+        hit, _ = llc.access_line(1, write=False)
+        assert hit
+
+    def test_capacity_boundary_lru(self):
+        """Filling a set exactly to ``ways`` evicts nothing; the next
+        distinct line evicts the least-recently-*used* way, honouring
+        hits as recency updates."""
+        llc = LastLevelCache(capacity_words=64, line_words=16, ways=4)
+        for line in (0, 1, 2, 3):      # single set, exactly full
+            llc.access_line(line, write=False)
+        assert llc.evictions == 0
+        assert llc.resident_lines == 4
+        llc.access_line(0, write=False)   # refresh 0: LRU is now 1
+        llc.access_line(4, write=False)   # evicts line 1, not 0
+        assert llc.evictions == 1
+        hit, _ = llc.access_line(0, write=False)
+        assert hit
+        hit, _ = llc.access_line(1, write=False)
+        assert not hit
+
 
 def coherent_soc(llc_words=1 << 14):
     config = SoCConfig(cols=4, rows=2, name="coh")

@@ -1,0 +1,1 @@
+"""Tests for the coherence auto-tuner."""

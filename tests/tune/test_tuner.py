@@ -1,0 +1,141 @@
+"""Tests for the trace-driven coherence auto-tuner.
+
+The tuner's contract is behavioural, not clairvoyant: whatever the
+footprint heuristic proposes, the returned assignment must measure at
+least as fast as every uniform coherence mode (verified fallback). The
+tests pin that contract on all three ablation workloads, check the
+profiling evidence is real (footprints, critical-path share, plane
+flits), and exercise the heuristic's individual rules directly.
+"""
+
+import pytest
+
+from repro.soc import CoherenceMode
+from repro.tune import (
+    UNIFORM_MODES,
+    ablation_workloads,
+    autotune,
+    profile_dataflow,
+)
+from repro.tune.tuner import _recommend
+from repro.tune.workloads import false_sharing, llc_resident
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    """Autotune every ablation workload once; share across tests."""
+    results = {}
+    for wl in ablation_workloads():
+        results[wl.name] = (wl, autotune(wl.build, wl.dataflow,
+                                         wl.frames, mode=wl.mode))
+    return results
+
+
+class TestNeverWorse:
+    def test_tuned_never_worse_than_best_uniform(self, tuned):
+        for name, (_, result) in tuned.items():
+            assert result.cycles <= result.best_uniform_cycles, name
+
+    def test_all_arms_measured(self, tuned):
+        for _, result in tuned.values():
+            assert set(result.measured) == \
+                {m.value for m in UNIFORM_MODES} | {"tuned"}
+            assert all(c > 0 for c in result.measured.values())
+
+    def test_ablation_winners_are_distinct(self, tuned):
+        winners = {min(UNIFORM_MODES,
+                       key=lambda m: result.measured[m.value])
+                   for _, result in tuned.values()}
+        assert winners == set(UNIFORM_MODES)
+
+    def test_fallback_when_heuristic_loses(self, tuned):
+        """fc-streaming's heuristic proposes non-coherent but
+        fully-coherent measures faster: the tuner must return the
+        measured winner, not the proposal."""
+        _, result = tuned["fc-streaming"]
+        assert result.candidate == {}
+        assert result.chosen == CoherenceMode.FULLY_COHERENT.value
+        assert set(result.assignment.values()) == \
+            {CoherenceMode.FULLY_COHERENT}
+
+    def test_heuristic_wins_llc_resident(self, tuned):
+        _, result = tuned["llc-resident"]
+        assert result.chosen == "tuned"
+        assert set(result.assignment.values()) == \
+            {CoherenceMode.LLC_COHERENT}
+
+    def test_false_sharing_veto(self, tuned):
+        """The misalignment veto predicts non-coherent statically and
+        the measurement confirms it."""
+        _, result = tuned["false-sharing"]
+        assert result.chosen == "tuned"
+        assert result.candidate == {}
+        for dev in result.profile.devices:
+            assert dev.recommended is CoherenceMode.NON_COHERENT
+            assert "false sharing" in dev.reason
+
+    def test_as_dict_round_trips(self, tuned):
+        import json
+        for _, result in tuned.values():
+            payload = result.as_dict()
+            json.dumps(payload)   # JSON-serializable end to end
+            assert payload["cycles"] == result.cycles
+            assert payload["chosen"] == result.chosen
+            assert set(payload["measured"]) == set(result.measured)
+
+
+class TestProfile:
+    def test_profile_evidence(self):
+        wl = llc_resident()
+        profile = profile_dataflow(wl.build, wl.dataflow, wl.frames,
+                                   mode=wl.mode)
+        assert profile.cycles > 0
+        assert 0.0 < profile.dma_fraction < 1.0
+        assert profile.llc_words == 1 << 15
+        # The baseline run is non-coherent: protocol planes are idle.
+        assert all(f == 0 for f in profile.coh_plane_flits.values())
+        assert {d.device for d in profile.devices} == \
+            set(wl.dataflow.devices)
+        for dev in profile.devices:
+            assert dev.frame_words == 1024   # 512 in + 512 out
+            assert dev.words_loaded > 0 and dev.words_stored > 0
+
+    def test_profile_reuse_skips_reprofiling(self):
+        wl = false_sharing()
+        profile = profile_dataflow(wl.build, wl.dataflow, wl.frames,
+                                   mode=wl.mode)
+        result = autotune(wl.build, wl.dataflow, wl.frames,
+                          mode=wl.mode, profile=profile)
+        assert result.profile is profile
+        assert result.cycles <= result.best_uniform_cycles
+
+
+class TestHeuristic:
+    def test_no_llc_forces_non_coherent(self):
+        mode, reason = _recommend(64, 1024, 1024, llc_words=0)
+        assert mode is CoherenceMode.NON_COHERENT
+        assert "no memory tile" in reason
+
+    def test_cold_dma_forces_non_coherent(self):
+        mode, reason = _recommend(64, 1024, 1024, 1 << 15,
+                                  dma_fraction=0.01)
+        assert mode is CoherenceMode.NON_COHERENT
+        assert "critical path" in reason
+
+    def test_misaligned_siblings_force_non_coherent(self):
+        mode, reason = _recommend(400, 6400, 1024, 1 << 15,
+                                  siblings=2, misaligned=True)
+        assert mode is CoherenceMode.NON_COHERENT
+        assert "false sharing" in reason
+        # Alone on its level, the same shape is fine for caching.
+        mode, _ = _recommend(400, 6400, 1024, 1 << 15,
+                             siblings=1, misaligned=True)
+        assert mode is CoherenceMode.FULLY_COHERENT
+
+    def test_footprint_ladder(self):
+        mode, _ = _recommend(512, 8192, 1024, 1 << 15)
+        assert mode is CoherenceMode.FULLY_COHERENT   # frame fits
+        mode, _ = _recommend(2048, 8192, 1024, 1 << 15)
+        assert mode is CoherenceMode.LLC_COHERENT     # run fits LLC
+        mode, _ = _recommend(2048, 1 << 20, 1024, 1 << 15)
+        assert mode is CoherenceMode.NON_COHERENT     # nothing fits

@@ -4,9 +4,12 @@
 Walks every markdown link in ``README.md`` and ``docs/*.md`` (plus any
 extra files given on the command line), resolves relative targets
 against the containing file, and fails when the target does not exist.
-Anchors (``file.md#section``) are checked for file existence only;
-absolute URLs (``http(s)://``, ``mailto:``) are skipped. Exit code is
-the number of broken links, so CI fails on any.
+Anchor fragments (``#section`` and ``file.md#section``) are validated
+against the target file's headings using GitHub's slug rules (
+lowercase, formatting stripped, punctuation dropped, spaces to
+hyphens, ``-1``/``-2`` suffixes for duplicates); absolute URLs
+(``http(s)://``, ``mailto:``) are skipped. Exit code is the number of
+problems, so CI fails on any.
 
 Usage:  python tools/check_links.py [extra.md ...]
 """
@@ -16,13 +19,58 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+from typing import Dict, Set
 
 #: Inline markdown links: [text](target). Images share the syntax.
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 #: Targets that are not filesystem paths.
 EXTERNAL = re.compile(r"^(https?|ftp|mailto):")
+#: ATX headings (``# ...`` through ``###### ...``).
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*(?:#+\s*)?$")
+#: Inline markup stripped before slugification: emphasis, code spans,
+#: and the text half of inline links.
+MARKUP = re.compile(r"[*_`]|\[([^\]]*)\]\([^)]*\)")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading's text."""
+    text = MARKUP.sub(lambda m: m.group(1) or "", heading)
+    text = text.strip().lower()
+    # Drop everything but word characters, spaces and hyphens, then
+    # turn each space into a hyphen (runs are preserved by GitHub).
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> Set[str]:
+    """Every anchor ``path`` exposes, with ``-N`` duplicate suffixes."""
+    counts: Dict[str, int] = {}
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if not seen else f"{slug}-{seen}")
+    return anchors
+
+
+def _rel(path: Path) -> Path:
+    """Repo-relative when possible (extra files may live anywhere)."""
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
 
 
 def iter_links(path: Path):
@@ -38,16 +86,29 @@ def iter_links(path: Path):
             yield lineno, match.group(1)
 
 
-def check_file(path: Path) -> list:
+def check_file(path: Path, anchor_cache: Dict[Path, Set[str]]) -> list:
     problems = []
     for lineno, target in iter_links(path):
-        if EXTERNAL.match(target) or target.startswith("#"):
+        if EXTERNAL.match(target):
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part \
+            else path
         if not resolved.exists():
             problems.append(
-                f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link "
+                f"{_rel(path)}:{lineno}: broken link "
                 f"-> {target}")
+            continue
+        if not fragment or resolved.suffix.lower() != ".md":
+            continue
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = heading_anchors(resolved)
+        if fragment.lower() not in anchor_cache[resolved]:
+            problems.append(
+                f"{_rel(path)}:{lineno}: broken "
+                f"anchor -> {target} (no heading slugs to "
+                f"#{fragment.lower()} in "
+                f"{_rel(resolved)})")
     return problems
 
 
@@ -59,14 +120,16 @@ def main(argv) -> int:
     for f in missing:
         print(f"checked file does not exist: {f}", file=sys.stderr)
     problems = []
+    anchor_cache: Dict[Path, Set[str]] = {}
     for f in files:
         if f.exists():
-            problems.extend(check_file(f))
+            problems.extend(check_file(f, anchor_cache))
     for problem in problems:
         print(problem, file=sys.stderr)
     total = len(problems) + len(missing)
     if not total:
-        print(f"{len(files)} files, all relative links resolve")
+        print(f"{len(files)} files, all relative links and anchors "
+              f"resolve")
     return total
 
 
