@@ -1,39 +1,88 @@
-"""Tracing benchmark: profile the Night-Vision p2p pipeline on SoC-1.
+"""Tracing benchmark: profiling, pinned overhead arms and the fleet
+flight-recorder scenario.
 
-Runs the paper's flagship application (nv0 -> cl0, p2p streaming) with
-the tracer attached and exercises the whole observability stack:
+Three sections, all deterministic where CI gates:
 
-- exports the run as Chrome trace-event JSON (``artifacts/trace.json``
-  by default — load it in Perfetto or ``chrome://tracing``) and checks
-  it against the schema validator;
-- prints the flame summary and the critical-path attribution of the
-  ``esp_run`` window, asserting the attribution covers >= 95% of the
-  end-to-end latency;
-- re-runs the identical workload on a fresh untraced runtime and
-  asserts cycle counts and outputs are bit-identical — the tracer's
-  zero-timing-impact contract.
+1. **Pipeline profiling** — the paper's flagship application (nv0 ->
+   cl0, p2p streaming) with the tracer attached: Chrome trace export
+   (``artifacts/trace.json`` — load it in Perfetto), schema
+   validation, flame summary, and the critical-path attribution of the
+   ``esp_run`` window (>= 95% coverage bar). An untraced re-run must
+   be bit-identical — the zero-timing-impact contract.
 
-Run:  pytest benchmarks/bench_trace.py --benchmark-only -s
+2. **Pinned overhead arms** — the three ``bench_perf`` workloads
+   re-run with (a) an unbounded tracer, (b) a bounded
+   flight-recorder ring (``RING_CAPACITY`` records), and — for the
+   serve workload — (c) ring + metrics + health monitor + an armed
+   :class:`~repro.trace.FlightRecorder`. Every arm must land on the
+   exact pinned seed cycle *and* event counts: recording, ring
+   eviction and an armed recorder cannot move simulated time by one
+   cycle. The ring arm also gates the memory bound (held records
+   <= 2x capacity; eviction accounting exact). Wall-clock overhead
+   percentages are reported but informational — only the pins and
+   bounds gate.
+
+3. **Fleet scenario** — the deterministic traced mini-fleet of
+   :func:`repro.eval.fleet.run_traced_fleet_scenario`: per-instance
+   ring tracers merged into one fleet trace
+   (``artifacts/fleet_trace.json``) with router-decision instants,
+   a full request waterfall reconstructed from a single router-minted
+   trace ID, and a forced alert producing a postmortem artifact under
+   ``artifacts/postmortems/``.
+
+Results land in ``BENCH_trace.json`` at the repository root.
+
+Run:  pytest benchmarks/bench_trace.py -s
 or:   PYTHONPATH=src python benchmarks/bench_trace.py [--smoke]
 """
 
 import argparse
+import json
 import os
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.eval import build_soc1
-from repro.eval.apps import dataflow_nv_cl, nv_cl_inputs
+from repro.eval.apps import (
+    APP_CONFIGS,
+    dataflow_nv_cl,
+    fresh_runtime,
+    nv_cl_inputs,
+)
+from repro.eval.fleet import run_traced_fleet_scenario
+from repro.metrics import (
+    HealthMonitor,
+    default_rules,
+    instrument_server,
+)
 from repro.runtime import EspRuntime
 from repro.trace import (
+    FlightRecorder,
     analyze_run,
     attach_tracer,
     flame_summary,
+    query_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
 
-#: Frames through the pipeline; the smoke variant (CI) trims the run.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_perf import (  # noqa: E402
+    PIPE_FRAMES,
+    ROUNDS,
+    SEED_CYCLES,
+    SEED_EVENTS,
+    SMOKE_CYCLES,
+    SMOKE_EVENTS,
+    SMOKE_PIPE_FRAMES,
+)
+from bench_serve import build_server, build_trace  # noqa: E402
+
+#: Frames through the profiling pipeline; smoke (CI) trims the run.
 BENCH_FRAMES = 16
 SMOKE_FRAMES = 4
 
@@ -41,6 +90,21 @@ SMOKE_FRAMES = 4
 #: must attribute to a named group (the ISSUE acceptance bar).
 COVERAGE_BAR = 0.95
 
+#: Ring capacity of the bounded arms — small enough that every
+#: workload actually evicts (the bound being exercised, not vacuous).
+RING_CAPACITY = 256
+
+#: Waterfall categories one fleet trace ID must reconstruct: the
+#: router decision, the serve layer, driver software, DMA, the
+#: accelerator phases and the NoC.
+WATERFALL_CATS = ("fleet.route", "serve.request", "serve.dispatch",
+                  "runtime.irq_wait", "dma.load", "acc.compute",
+                  "noc.packet")
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+
+# -- section 1: pipeline profiling ------------------------------------------
 
 def run_app(n_frames, tracing):
     """One nv->cl p2p run; returns (runtime, result, tracer|None)."""
@@ -103,6 +167,262 @@ def render(results):
     return "\n".join(lines)
 
 
+# -- section 2: pinned overhead arms ----------------------------------------
+
+def _run_pipeline(mode, n_frames, arm):
+    config = APP_CONFIGS["4nv_4cl"]
+    frames, _ = config.make_inputs(n_frames, seed=0)
+    runtime = fresh_runtime(config)
+    tracer = None
+    if arm == "traced":
+        tracer = attach_tracer(runtime.soc.env)
+    elif arm == "ring":
+        tracer = attach_tracer(runtime.soc.env, capacity=RING_CAPACITY)
+    dataflow = config.build_dataflow()
+    start = time.perf_counter()
+    runtime.esp_run(dataflow, frames, mode=mode)
+    wall = time.perf_counter() - start
+    env = runtime.soc.env
+    return wall, env.now, env.events_processed, tracer
+
+
+def _run_serve(n_requests, frames_per_request, arm):
+    runtime, server = build_server()
+    tracer = None
+    if arm == "traced":
+        tracer = attach_tracer(runtime.soc.env)
+    elif arm in ("ring", "armed"):
+        tracer = attach_tracer(runtime.soc.env, capacity=RING_CAPACITY)
+    monitor = None
+    if arm == "armed":
+        registry = instrument_server(server)
+        monitor = HealthMonitor(registry, default_rules(server))
+        FlightRecorder("artifacts/postmortems", tracer,
+                       clock_mhz=runtime.soc.clock_mhz).arm(monitor)
+    trace = build_trace(n_requests, frames_per_request)
+    start = time.perf_counter()
+    server.run_trace(trace)
+    wall = time.perf_counter() - start
+    if monitor is not None:
+        monitor.evaluate()
+    env = runtime.soc.env
+    return wall, env.now, env.events_processed, tracer
+
+
+def _arm_runner(name, smoke):
+    if name == "serve":
+        n_requests, frames = (1, 1) if smoke else (2, 2)
+        return lambda arm: _run_serve(n_requests, frames, arm)
+    mode = "p2p" if name == "p2p" else "pipe"
+    n_frames = SMOKE_PIPE_FRAMES if smoke else PIPE_FRAMES
+    return lambda arm: _run_pipeline(mode, n_frames, arm)
+
+
+def _records_of(tracer):
+    return (len(tracer.spans) + len(tracer.instants)
+            + len(tracer.counters))
+
+
+def measure_arms(name, smoke=False):
+    """Every arm of one workload, best-of-``ROUNDS``, pins enforced."""
+    run = _arm_runner(name, smoke)
+    expected_cycles = (SMOKE_CYCLES if smoke else SEED_CYCLES)[name]
+    expected_events = (SMOKE_EVENTS if smoke else SEED_EVENTS)[name]
+    arms = ("off", "traced", "ring") + (
+        ("armed",) if name == "serve" else ())
+    best = {}
+    tracers = {}
+    for arm in arms:
+        for _ in range(ROUNDS):
+            wall, cycles, events, tracer = run(arm)
+            if cycles != expected_cycles:
+                raise AssertionError(
+                    f"cycle drift on {name!r} (arm {arm!r}): {cycles} "
+                    f"!= pinned {expected_cycles} — tracing, ring "
+                    f"eviction and armed recorders must be "
+                    f"timing-neutral")
+            if events != expected_events:
+                raise AssertionError(
+                    f"event drift on {name!r} (arm {arm!r}): {events} "
+                    f"!= pinned {expected_events}")
+            best[arm] = min(best.get(arm, wall), wall)
+            tracers[arm] = tracer
+
+    unbounded = tracers["traced"]
+    ring = tracers["ring"]
+    records_unbounded = _records_of(unbounded)
+    records_ring = _records_of(ring)
+    # The memory contract of the ring: at most 2x capacity held per
+    # record list, and eviction accounting exact (held + dropped ==
+    # what the unbounded run recorded).
+    for label, held in (("spans", len(ring.spans)),
+                        ("instants", len(ring.instants)),
+                        ("counters", len(ring.counters))):
+        if held > 2 * RING_CAPACITY:
+            raise AssertionError(
+                f"ring bound violated on {name!r}: {held} {label} "
+                f"held > 2x capacity {RING_CAPACITY}")
+    if records_ring + ring.dropped != records_unbounded:
+        raise AssertionError(
+            f"ring accounting drift on {name!r}: {records_ring} held "
+            f"+ {ring.dropped} dropped != {records_unbounded} "
+            f"unbounded records")
+
+    def overhead(arm):
+        return round(100.0 * (best[arm] / best["off"] - 1.0), 1)
+
+    row = {
+        "cycles": expected_cycles,
+        "events": expected_events,
+        "wall_off_s": round(best["off"], 6),
+        "wall_traced_s": round(best["traced"], 6),
+        "wall_ring_s": round(best["ring"], 6),
+        "overhead_traced_pct": overhead("traced"),
+        "overhead_ring_pct": overhead("ring"),
+        "records_unbounded": records_unbounded,
+        "records_ring": records_ring,
+        "dropped_ring": ring.dropped,
+        "ring_memory_ratio": round(
+            records_ring / records_unbounded, 3),
+    }
+    if "armed" in best:
+        row["wall_armed_s"] = round(best["armed"], 6)
+        row["overhead_armed_pct"] = overhead("armed")
+    return row
+
+
+# -- section 3: the fleet flight-recorder scenario --------------------------
+
+def run_fleet_scenario(out_dir="artifacts",
+                       postmortem_dir="artifacts/postmortems"):
+    """Traced mini-fleet: merged trace, waterfall, forced postmortem."""
+    scenario = run_traced_fleet_scenario(out_dir=postmortem_dir)
+    trace = scenario["trace"]
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise AssertionError(f"merged fleet trace invalid: {problems}")
+
+    trace_ids = scenario["trace_ids"]
+    if len(trace_ids) != len(scenario["report"].decisions):
+        raise AssertionError(
+            f"{len(trace_ids)} trace IDs in the merged trace != "
+            f"{len(scenario['report'].decisions)} router decisions")
+    # The waterfall check uses the *last* routed request: with bounded
+    # rings the oldest spans are evicted by design, but the most
+    # recent request must reconstruct end to end from its ID alone.
+    waterfall_id = f"f-{len(trace_ids) - 1}"
+    timeline = query_trace(trace, waterfall_id)
+    cats = {event.cat for event in timeline.events}
+    missing = [cat for cat in WATERFALL_CATS if cat not in cats]
+    if missing:
+        raise AssertionError(
+            f"waterfall of {waterfall_id} is missing {missing}; "
+            f"got {sorted(cats)}")
+    if timeline.routed_to is None or timeline.latency_cycles is None:
+        raise AssertionError(
+            f"waterfall of {waterfall_id} lost its routing or "
+            f"request span: {timeline.render(limit=10)}")
+    if not any(timeline.busy_cycles.get(g) for g in
+               ("dma", "compute", "noc")):
+        raise AssertionError(
+            f"waterfall attribution empty: {timeline.busy_cycles}")
+
+    os.makedirs(out_dir, exist_ok=True)
+    fleet_trace_path = str(Path(out_dir) / "fleet_trace.json")
+    with open(fleet_trace_path, "w") as handle:
+        json.dump(trace, handle)
+
+    postmortem_path = scenario["postmortem"]
+    artifact = json.loads(postmortem_path.read_text())
+    if artifact["schema"] != "repro.postmortem/v1":
+        raise AssertionError(f"unexpected postmortem schema: "
+                             f"{artifact['schema']}")
+    if artifact["alert"]["rule"] != "forced-postmortem":
+        raise AssertionError(f"postmortem captured the wrong alert: "
+                             f"{artifact['alert']}")
+    window_spans = sum(len(spans) for spans
+                       in artifact["spans"].values())
+    if window_spans == 0:
+        raise AssertionError("postmortem window contains no spans")
+
+    return {
+        "instances": len(scenario["fleet"].instances),
+        "arrivals": len(scenario["report"].decisions),
+        "trace_ids": len(trace_ids),
+        "merged_events": len(trace["traceEvents"]),
+        "fleet_trace": fleet_trace_path,
+        "waterfall_id": waterfall_id,
+        "waterfall_events": len(timeline.events),
+        "waterfall_routed_to": timeline.routed_to,
+        "waterfall_latency_cycles": timeline.latency_cycles,
+        "waterfall_queue_cycles": timeline.queue_cycles,
+        "waterfall_busy_cycles": timeline.busy_cycles,
+        "postmortem": str(postmortem_path),
+        "postmortem_spans": window_spans,
+        "postmortem_trace_ids": len(artifact["trace_ids"]),
+        "timeline": timeline,
+    }
+
+
+# -- report -----------------------------------------------------------------
+
+def run_bench(smoke=False, trace_path="artifacts/trace.json"):
+    n_frames = SMOKE_FRAMES if smoke else BENCH_FRAMES
+    profile = run_trace_benchmark(n_frames, trace_path=trace_path)
+    check(profile)
+    arms = {}
+    for name in ("p2p", "dma", "serve"):
+        arms[name] = measure_arms(name, smoke=smoke)
+    fleet = run_fleet_scenario()
+    payload = {
+        "benchmark": "bench_trace",
+        "variant": "smoke" if smoke else "full",
+        "rounds": ROUNDS,
+        "ring_capacity": RING_CAPACITY,
+        "pipeline": {
+            "frames": n_frames,
+            "cycles": profile["traced"].cycles,
+            "coverage": round(profile["report"].coverage, 4),
+            "trace_events": len(profile["trace"]["traceEvents"]),
+            "trace_path": profile["trace_path"],
+        },
+        "workloads": arms,
+        "fleet": {key: value for key, value in fleet.items()
+                  if key != "timeline"},
+    }
+    return payload, profile, fleet
+
+
+def write_report(payload):
+    REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return REPORT_PATH
+
+
+def print_report(payload, profile, fleet):
+    print(render(profile))
+    print(f"\npinned arms ({payload['variant']}, best of "
+          f"{payload['rounds']} rounds, ring={RING_CAPACITY}):")
+    for name, row in payload["workloads"].items():
+        armed = (f"  armed {row['overhead_armed_pct']:+.1f}%"
+                 if "overhead_armed_pct" in row else "")
+        print(f"  {name:6s} {row['cycles']:>7d} cycles  "
+              f"traced {row['overhead_traced_pct']:+.1f}%  "
+              f"ring {row['overhead_ring_pct']:+.1f}%{armed}  "
+              f"ring holds {row['records_ring']}/"
+              f"{row['records_unbounded']} records "
+              f"({row['ring_memory_ratio']:.0%})")
+    print(f"\nfleet scenario: {fleet['instances']} instances, "
+          f"{fleet['arrivals']} arrivals, {fleet['trace_ids']} trace "
+          f"IDs, {fleet['merged_events']} merged events -> "
+          f"{fleet['fleet_trace']}")
+    print(fleet["timeline"].render(limit=12))
+    print(f"postmortem: {fleet['postmortem']} "
+          f"({fleet['postmortem_spans']} spans, "
+          f"{fleet['postmortem_trace_ids']} trace IDs in window)")
+
+
+# -- pytest entry points ----------------------------------------------------
+
 def test_traced_pipeline(once, tmp_path):
     results = once(run_trace_benchmark, BENCH_FRAMES,
                    str(tmp_path / "trace.json"))
@@ -110,17 +430,21 @@ def test_traced_pipeline(once, tmp_path):
     check(results)
 
 
+# -- standalone -------------------------------------------------------------
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="short run + assertions only (CI)")
+                        help="short runs + assertions only (CI)")
     parser.add_argument("--out", default="artifacts/trace.json",
                         help="where to write the Chrome trace JSON")
     args = parser.parse_args()
-    n_frames = SMOKE_FRAMES if args.smoke else BENCH_FRAMES
-    results = run_trace_benchmark(n_frames, trace_path=args.out)
-    print(render(results))
-    check(results)
+    payload, profile, fleet = run_bench(smoke=args.smoke,
+                                        trace_path=args.out)
+    path = write_report(payload)
+    print_report(payload, profile, fleet)
+    print(f"\nreport: {path}")
     print("tracing benchmark: all assertions passed")
 
 

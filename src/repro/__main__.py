@@ -12,6 +12,7 @@ Usage::
     python -m repro chaos [--smoke] [--seed N]
     python -m repro fleet [--policy P] [--instances N] [--smoke]
     python -m repro tune  [--workload NAME] [--json PATH]
+    python -m repro trace-query [TRACE_ID] [--input PATH]
 
 ``python -m repro --help`` lists every subcommand with a one-line
 description; ``python -m repro <command> --help`` has the details.
@@ -228,6 +229,42 @@ def _cmd_tune(args) -> None:
         print(f"wrote {args.json}")
 
 
+def _cmd_trace_query(args) -> None:
+    """Reconstruct one request's waterfall from its trace ID.
+
+    With ``--input`` the trace is read from an exported Chrome trace
+    JSON (single-SoC or fleet-merged); without it the deterministic
+    traced mini-fleet scenario runs in-process and the query targets
+    its merged trace. Without a ``trace_id`` the command lists every
+    ID present so the operator can pick one.
+    """
+    from .trace import load_trace, query_trace, trace_ids_in
+
+    if args.input is not None:
+        trace = load_trace(args.input)
+        source = args.input
+    else:
+        from .eval.fleet import run_traced_fleet_scenario
+        scenario = run_traced_fleet_scenario(seed=args.seed)
+        trace = scenario["trace"]
+        source = (f"traced mini-fleet scenario "
+                  f"({len(scenario['fleet'].instances)} instances, "
+                  f"seed {args.seed})")
+    ids = trace_ids_in(trace)
+    if args.trace_id is None:
+        print(f"{len(ids)} trace IDs in {source}:")
+        for trace_id in ids:
+            print(f"  {trace_id}")
+        print("\nrerun with one of them: "
+              "python -m repro trace-query <trace_id>")
+        return
+    if args.trace_id not in ids:
+        raise SystemExit(f"trace ID {args.trace_id!r} not present in "
+                         f"{source} ({len(ids)} IDs; run without an "
+                         f"ID to list them)")
+    print(query_trace(trace, args.trace_id).render(limit=args.limit))
+
+
 #: One-line description per subcommand — single source for the
 #: ``--help`` listing (every entry must register a parser below).
 COMMANDS = {
@@ -243,6 +280,8 @@ COMMANDS = {
              "per load-balancing policy",
     "tune": "auto-tune per-accelerator coherence modes over the "
             "ablation workloads",
+    "trace-query": "reconstruct one request's waterfall from its "
+                   "distributed trace ID",
 }
 
 
@@ -328,6 +367,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the tuning report as JSON")
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("trace-query", help=COMMANDS["trace-query"],
+                       description=COMMANDS["trace-query"])
+    p.add_argument("trace_id", nargs="?", default=None,
+                   help="trace ID to reconstruct (e.g. f-23); omit "
+                        "to list every ID in the trace")
+    p.add_argument("--input", metavar="PATH", default=None,
+                   help="exported Chrome trace JSON to query "
+                        "(default: run the traced mini-fleet "
+                        "scenario in-process)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed when no --input is given "
+                        "(default 0)")
+    p.add_argument("--limit", type=int, default=60,
+                   help="max waterfall rows to print (default 60)")
+    p.set_defaults(fn=_cmd_trace_query)
     return parser
 
 

@@ -96,6 +96,7 @@ __all__ = [
     "run_fault_campaign",
     "run_fleet_campaign",
     "run_scenario",
+    "run_traced_fleet_scenario",
     "smoke_campaign",
     "standard_inputs",
     "standard_tenants",
@@ -126,6 +127,7 @@ _FLEET_EXPORTS = frozenset({
     "build_standard_fleet",
     "overload_workload",
     "run_fleet_campaign",
+    "run_traced_fleet_scenario",
     "standard_inputs",
     "standard_tenants",
 })

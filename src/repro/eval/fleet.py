@@ -16,7 +16,7 @@ p50/p99 latency, goodput and the rejection breakdown per policy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -121,13 +121,18 @@ def build_standard_fleet(n_instances: int = 4,
                          policy: str = "round-robin",
                          replicas: Optional[int] = None,
                          salt: int = 0,
-                         metrics: bool = False) -> Fleet:
+                         metrics: bool = False,
+                         tracing: bool = False,
+                         trace_capacity: Optional[int] = None) -> Fleet:
     """A homogeneous SoC-1 fleet serving the standard three tenants.
 
     ``replicas`` defaults to ``min(3, n_instances)``: tenants shard to
     a strict subset of a larger fleet, so shards overlap unevenly —
     the consistent-placement affinity that gives round-robin its blind
-    spots and load-aware policies their edge.
+    spots and load-aware policies their edge. ``tracing=True``
+    attaches one namespaced tracer per instance (bounded to
+    ``trace_capacity`` records when given), ready for
+    :func:`repro.trace.merge_chrome_traces`.
     """
     if replicas is None:
         replicas = min(3, n_instances)
@@ -135,7 +140,7 @@ def build_standard_fleet(n_instances: int = 4,
         n_instances, build_soc1, standard_tenants,
         policy=policy, replicas=replicas, salt=salt,
         server_config=ServerConfig(max_queue_depth=FLEET_QUEUE_DEPTH),
-        metrics=metrics)
+        metrics=metrics, tracing=tracing, trace_capacity=trace_capacity)
 
 
 def run_fleet_campaign(policies: Sequence[str] = CAMPAIGN_POLICIES,
@@ -154,3 +159,67 @@ def run_fleet_campaign(policies: Sequence[str] = CAMPAIGN_POLICIES,
         reports[policy] = fleet.run(arrivals,
                                     standard_inputs(seed=seed))
     return reports
+
+
+def run_traced_fleet_scenario(out_dir: Optional[str] = None,
+                              n_instances: int = 2,
+                              n_arrivals: int = 24,
+                              seed: int = 0,
+                              trace_capacity: Optional[int] = 512
+                              ) -> Dict[str, Any]:
+    """The deterministic traced mini-fleet, end to end.
+
+    One scenario shared by ``python -m repro trace-query``,
+    ``benchmarks/bench_trace.py`` and the tests: a 2-instance SoC-1
+    fleet with per-instance flight-recorder tracers, driven over the
+    first ``n_arrivals`` arrivals of the standard overload trace,
+    merged into a single fleet-wide Chrome trace whose
+    ``fleet.route`` instants carry the router-minted trace IDs.
+
+    When ``out_dir`` is given, the scenario also arms a
+    :class:`~repro.trace.FlightRecorder` on instance ``i0``'s metrics
+    registry with a rule that is *forced* to breach, evaluates once,
+    and so deterministically produces one postmortem artifact under
+    ``out_dir`` — the alert-triggered dump path exercised without
+    having to wait for a real SLO violation.
+
+    Returns a dict with ``fleet``, ``report``, ``trace`` (merged,
+    validated upstream by callers), ``trace_ids`` (router-minted
+    ``f-N`` IDs in arrival order), and — with ``out_dir`` —
+    ``recorder`` and ``postmortem`` (the artifact path).
+    """
+    from ..metrics import HealthMonitor, SloRule
+    from ..trace import FlightRecorder, merge_chrome_traces, trace_ids_in
+
+    fleet = build_standard_fleet(
+        n_instances, policy="least-loaded", salt=seed,
+        metrics=True, tracing=True, trace_capacity=trace_capacity)
+    spec = overload_workload(seed=seed, smoke=True)
+    arrivals = sorted(generate_arrivals(spec),
+                      key=lambda a: a.at)[:n_arrivals]
+    report = fleet.run(arrivals, standard_inputs(seed=seed))
+    clock_mhz = fleet.instances[0].soc.clock_mhz
+    trace = merge_chrome_traces(fleet.tracers(), clock_mhz=clock_mhz,
+                                decisions=report.decisions)
+    result: Dict[str, Any] = {
+        "fleet": fleet,
+        "report": report,
+        "trace": trace,
+        "trace_ids": trace_ids_in(trace),
+        "clock_mhz": clock_mhz,
+    }
+    if out_dir is not None:
+        instance = fleet.instances[0]
+        monitor = HealthMonitor(instance.metrics, [SloRule(
+            name="forced-postmortem",
+            check=lambda reg, now: "forced by the traced fleet "
+                                   "scenario (deterministic dump)",
+            severity="critical",
+            description="always breaches; exists to exercise the "
+                        "alert-triggered postmortem path")])
+        recorder = FlightRecorder(
+            out_dir, fleet.tracers(), clock_mhz=clock_mhz).arm(monitor)
+        monitor.evaluate()
+        result["recorder"] = recorder
+        result["postmortem"] = recorder.dumps[0]
+    return result

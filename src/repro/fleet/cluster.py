@@ -35,6 +35,7 @@ import numpy as np
 
 from ..eval.harness import LatencySummary
 from ..serve import Rejection, ServerConfig, ServerReport, TenantConfig
+from ..trace.context import TraceContext
 from .instance import FleetInstance
 from .router import FleetRouter, RouterDecision
 from .workload import Arrival
@@ -154,6 +155,13 @@ class Fleet:
     def names(self) -> List[str]:
         return [instance.name for instance in self.instances]
 
+    def tracers(self) -> Dict[str, object]:
+        """name -> tracer for every traced instance — the mapping
+        :func:`repro.trace.merge_chrome_traces` consumes."""
+        return {instance.name: instance.tracer
+                for instance in self.instances
+                if instance.tracer is not None}
+
     def run(self, arrivals: Sequence[Arrival],
             inputs: Dict[str, np.ndarray]) -> FleetReport:
         """Drive one arrival trace through the fleet to quiescence.
@@ -187,8 +195,14 @@ class Fleet:
             instance = self.router.route(arrival.tenant, at=arrival.at)
             frames = self._take_frames(inputs, cursors, arrival)
             offered_frames += arrival.n_frames
-            rejection = instance.submit(arrival.tenant, frames,
-                                        priority=arrival.priority)
+            # Propagate the router-minted trace identity: the decision
+            # instant and every instance-side span of this request
+            # share one ID across the routing boundary.
+            trace_id = self.router.decisions[-1].trace_id
+            rejection = instance.submit(
+                arrival.tenant, frames, priority=arrival.priority,
+                trace_ctx=(None if trace_id is None
+                           else TraceContext(trace_id)))
             if rejection is not None:
                 rejections.append((instance.name, rejection))
 
@@ -248,14 +262,20 @@ def build_fleet(n_instances: int,
                 server_config: Optional[ServerConfig] = None,
                 recovery=None,
                 salt: int = 0,
-                metrics: bool = False) -> Fleet:
+                metrics: bool = False,
+                tracing: bool = False,
+                trace_capacity: Optional[int] = None) -> Fleet:
     """Stand up a homogeneous fleet: N replicas of one SoC + tenants.
 
     ``tenant_factory`` is called once per instance so each server gets
     its own :class:`TenantConfig` objects (dataflows are shared-naming
     but per-instance state lives in the server). ``metrics=True``
     attaches one namespaced registry per instance (``i0``, ``i1``,
-    ...), ready for :func:`repro.metrics.merge_snapshots`.
+    ...), ready for :func:`repro.metrics.merge_snapshots`;
+    ``tracing=True`` attaches one namespaced tracer per instance under
+    the same names, ready for
+    :func:`repro.trace.merge_chrome_traces` (``trace_capacity`` turns
+    each into a bounded flight-recorder ring).
     """
     if n_instances < 1:
         raise ValueError("n_instances must be >= 1")
@@ -263,7 +283,9 @@ def build_fleet(n_instances: int,
         FleetInstance.build(
             f"i{index}", soc_builder, tenant_factory(),
             server_config=server_config, recovery=recovery,
-            metrics_namespace=f"i{index}" if metrics else None)
+            metrics_namespace=f"i{index}" if metrics else None,
+            trace_namespace=f"i{index}" if tracing else None,
+            trace_capacity=trace_capacity if tracing else None)
         for index in range(n_instances)]
     router = FleetRouter(instances, policy=policy, replicas=replicas,
                          salt=salt)

@@ -27,6 +27,8 @@ import numpy as np
 
 from ..metrics import MetricsRegistry, attach_metrics
 from ..runtime import EspRuntime
+from ..trace.context import TraceContext
+from ..trace.tracer import Tracer, attach_tracer
 from ..serve import (
     Completion,
     InferenceServer,
@@ -63,18 +65,27 @@ class FleetInstance:
               tenants: Sequence[TenantConfig],
               server_config: Optional[ServerConfig] = None,
               recovery=None,
-              metrics_namespace: Optional[str] = None) -> "FleetInstance":
+              metrics_namespace: Optional[str] = None,
+              trace_namespace: Optional[str] = None,
+              trace_capacity: Optional[int] = None) -> "FleetInstance":
         """Stand up one full replica stack from a SoC builder.
 
         Every call builds a *fresh* SoC (own ``Environment``), boots a
         runtime on it, registers ``tenants`` and wraps the server.
         ``metrics_namespace`` attaches a namespaced
         :class:`~repro.metrics.MetricsRegistry` so N instances can be
-        scraped into one snapshot without series collisions.
+        scraped into one snapshot without series collisions;
+        ``trace_namespace`` does the same for a
+        :class:`~repro.trace.Tracer` so N tracers can merge into one
+        fleet-wide Chrome trace (``trace_capacity`` bounds it as a
+        flight-recorder ring).
         """
         soc = soc_builder()
         if metrics_namespace is not None:
             attach_metrics(soc.env, namespace=metrics_namespace)
+        if trace_namespace is not None:
+            attach_tracer(soc.env, namespace=trace_namespace,
+                          capacity=trace_capacity)
         runtime = EspRuntime(soc, recovery=recovery)
         server = InferenceServer(runtime, server_config or ServerConfig())
         for tenant in tenants:
@@ -154,9 +165,16 @@ class FleetInstance:
     # -- work ---------------------------------------------------------------
 
     def submit(self, tenant: str, frames: np.ndarray,
-               priority: int = 0) -> Optional[Rejection]:
-        """Submit one request at the instance's current cycle."""
-        return self.server.submit(tenant, frames, priority=priority)
+               priority: int = 0,
+               trace_ctx: Optional[TraceContext] = None
+               ) -> Optional[Rejection]:
+        """Submit one request at the instance's current cycle.
+
+        ``trace_ctx`` carries the router-minted trace identity into
+        the instance's serve layer (propagated, never re-minted).
+        """
+        return self.server.submit(tenant, frames, priority=priority,
+                                  trace_ctx=trace_ctx)
 
     # -- introspection ------------------------------------------------------
 
@@ -182,6 +200,10 @@ class FleetInstance:
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
         return self.env.metrics
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.env.tracer
 
     def report(self, makespan_cycles: Optional[int] = None) -> ServerReport:
         return self.server.report(makespan_cycles=makespan_cycles)

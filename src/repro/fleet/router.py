@@ -41,6 +41,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..trace.context import TraceIdAllocator
 from .instance import FleetInstance
 
 #: Selection policies within a tenant's shard.
@@ -89,6 +90,11 @@ class RouterDecision:
     #: Policy-specific score of the winner (rotation index, estimated
     #: backlog cycles, or EWMA latency).
     score: float
+    #: Distributed-tracing identity minted for the routed request
+    #: ("f-0", "f-1", ... in arrival order). The instance-side spans
+    #: carry the same ID, so a merged fleet trace links this decision
+    #: to the request's whole waterfall.
+    trace_id: Optional[str] = None
 
 
 class FleetRouter:
@@ -128,6 +134,10 @@ class FleetRouter:
         self._ewma: Dict[str, Optional[float]] = {
             name: None for name in names}
         self.decisions: List[RouterDecision] = []
+        # One deterministic trace-ID mint for the whole fleet
+        # ("f-{n}" in arrival order); instances propagate the router's
+        # ID instead of minting their own.
+        self._trace_ids = TraceIdAllocator("f")
 
     # -- sharding -----------------------------------------------------------
 
@@ -199,7 +209,8 @@ class FleetRouter:
                 key=lambda pair: (pair[1], shard.index(pair[0])))
         self.decisions.append(RouterDecision(
             at=at, tenant=tenant, instance=name, policy=self.policy,
-            shard=shard, score=score))
+            shard=shard, score=score,
+            trace_id=self._trace_ids.next_id()))
         return self._by_name[name]
 
     def __repr__(self) -> str:

@@ -42,6 +42,7 @@ from .collect import (
 )
 from .export import (
     merge_snapshots,
+    parse_exemplars,
     parse_exposition,
     snapshot,
     to_prometheus,
@@ -91,6 +92,7 @@ __all__ = [
     "latency_slo_rule",
     "link_congestion_rule",
     "merge_snapshots",
+    "parse_exemplars",
     "parse_exposition",
     "queue_saturation_rule",
     "register_server_collectors",

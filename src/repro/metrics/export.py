@@ -9,6 +9,13 @@ Label values escape backslash, double-quote and newline.
 A :func:`parse_exposition` round-trip parser ships alongside so tests
 (and downstream tools) can consume a scrape without a real Prometheus:
 it returns every sample as ``(name, labels, value)`` triples.
+
+Exemplars: histogram buckets that recorded one export an
+OpenMetrics-style suffix on their cumulative ``_bucket`` line —
+``... 42 # {trace_id="t-7"} 1234`` — linking the bucket straight to a
+request's distributed-trace timeline. :func:`parse_exposition`
+tolerates (and strips) the suffix, keeping its 3-tuple shape;
+:func:`parse_exemplars` returns the exemplar-annotated samples.
 """
 
 from __future__ import annotations
@@ -59,6 +66,15 @@ def _format_value(value) -> str:
     return repr(float(value))
 
 
+def _format_exemplar(entry) -> str:
+    """OpenMetrics exemplar suffix for one bucket line ('' if none)."""
+    if entry is None:
+        return ""
+    trace_id, value = entry
+    return (f' # {{trace_id="{_escape(str(trace_id))}"}} '
+            f'{_format_value(value)}')
+
+
 def to_prometheus(registry: MetricsRegistry,
                   namespace: str = "repro") -> str:
     """Render every family as Prometheus text exposition.
@@ -79,15 +95,21 @@ def to_prometheus(registry: MetricsRegistry,
         label_names = family.label_names
         if family.kind == "histogram":
             for values, child in series:
+                exemplars = child.exemplars or {}
                 cumulative = 0
-                for bound, count in zip(child.bounds, child.counts):
+                for index, (bound, count) in enumerate(
+                        zip(child.bounds, child.counts)):
                     cumulative += count
                     labels = _format_labels(label_names, values,
                                             extra=f'le="{bound}"')
-                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                    lines.append(f"{name}_bucket{labels} {cumulative}"
+                                 + _format_exemplar(
+                                     exemplars.get(index)))
                 labels = _format_labels(label_names, values,
                                         extra='le="+Inf"')
-                lines.append(f"{name}_bucket{labels} {child.count}")
+                lines.append(f"{name}_bucket{labels} {child.count}"
+                             + _format_exemplar(
+                                 exemplars.get(len(child.bounds))))
                 labels = _format_labels(label_names, values)
                 lines.append(
                     f"{name}_sum{labels} {_format_value(child.sum)}")
@@ -103,16 +125,33 @@ def to_prometheus(registry: MetricsRegistry,
 Sample = Tuple[str, Dict[str, str], float]
 
 
-def parse_exposition(text: str) -> List[Sample]:
-    """Parse exposition text back into ``(name, labels, value)`` samples.
+def _parse_labels(body: str, raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq]
+        if body[eq + 1] != "\"":
+            raise ValueError(f"unquoted label value in {raw!r}")
+        j = eq + 2
+        chunk = []
+        while body[j] != "\"":
+            if body[j] == "\\":
+                chunk.append(body[j:j + 2])
+                j += 2
+            else:
+                chunk.append(body[j])
+                j += 1
+        labels[key] = _unescape("".join(chunk))
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
 
-    A deliberately small parser covering what :func:`to_prometheus`
-    emits (which is valid text format v0.0.4): comments/HELP/TYPE
-    lines are skipped, escaped label values are unescaped. Raises
-    ``ValueError`` on a malformed sample line, so tests that round-trip
-    a scrape through this are format-conformance tests too.
-    """
-    samples: List[Sample] = []
+
+def _parse_samples(text: str):
+    """Yield ``(name, labels, value, exemplar)`` for every sample line;
+    ``exemplar`` is ``None`` or ``(exemplar_labels, exemplar_value)``."""
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -120,34 +159,55 @@ def parse_exposition(text: str) -> List[Sample]:
         if "{" in line:
             name, rest = line.split("{", 1)
             body, rest = rest.split("}", 1)
-            labels: Dict[str, str] = {}
-            i = 0
-            while i < len(body):
-                eq = body.index("=", i)
-                key = body[i:eq]
-                if body[eq + 1] != "\"":
-                    raise ValueError(f"unquoted label value in {raw!r}")
-                j = eq + 2
-                chunk = []
-                while body[j] != "\"":
-                    if body[j] == "\\":
-                        chunk.append(body[j:j + 2])
-                        j += 2
-                    else:
-                        chunk.append(body[j])
-                        j += 1
-                labels[key] = _unescape("".join(chunk))
-                i = j + 1
-                if i < len(body) and body[i] == ",":
-                    i += 1
+            labels = _parse_labels(body, raw)
             value_text = rest.strip()
         else:
             name, value_text = line.split(None, 1)
             labels = {}
+        exemplar = None
+        if " # " in value_text:
+            # OpenMetrics exemplar suffix: `value # {labels} exvalue`.
+            value_text, suffix = value_text.split(" # ", 1)
+            value_text = value_text.strip()
+            suffix = suffix.strip()
+            if not suffix.startswith("{") or "}" not in suffix:
+                raise ValueError(f"malformed exemplar in {raw!r}")
+            ex_body, ex_rest = suffix[1:].split("}", 1)
+            exemplar = (_parse_labels(ex_body, raw),
+                        float(ex_rest.strip()))
         if not name or not value_text:
             raise ValueError(f"malformed sample line {raw!r}")
-        samples.append((name, labels, float(value_text)))
-    return samples
+        yield name, labels, float(value_text), exemplar
+
+
+def parse_exposition(text: str) -> List[Sample]:
+    """Parse exposition text back into ``(name, labels, value)`` samples.
+
+    A deliberately small parser covering what :func:`to_prometheus`
+    emits (which is valid text format v0.0.4 plus OpenMetrics exemplar
+    suffixes, which are stripped here — see :func:`parse_exemplars`):
+    comments/HELP/TYPE lines are skipped, escaped label values are
+    unescaped. Raises ``ValueError`` on a malformed sample line, so
+    tests that round-trip a scrape through this are format-conformance
+    tests too.
+    """
+    return [(name, labels, value)
+            for name, labels, value, _ in _parse_samples(text)]
+
+
+def parse_exemplars(text: str) -> List[Tuple[str, Dict[str, str],
+                                             float, Dict[str, str],
+                                             float]]:
+    """Every exemplar-annotated sample of an exposition.
+
+    Returns ``(name, labels, value, exemplar_labels, exemplar_value)``
+    tuples — ``exemplar_labels["trace_id"]`` is the request timeline a
+    bucket links to.
+    """
+    return [(name, labels, value, ex_labels, ex_value)
+            for name, labels, value, exemplar in _parse_samples(text)
+            if exemplar is not None
+            for ex_labels, ex_value in [exemplar]]
 
 
 def snapshot(registry: MetricsRegistry) -> dict:

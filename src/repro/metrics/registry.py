@@ -97,9 +97,16 @@ class HistogramSeries:
     *non-cumulative* per-bucket count; ``counts[-1]`` is the overflow
     (``+Inf``) bucket. The Prometheus exporter cumulates at exposition
     time, so recording stays a single ``+= 1``.
+
+    Exemplars: an observation may carry a trace ID; the series keeps
+    the *last* ``(trace_id, value)`` per bucket (OpenMetrics-style
+    exemplars), which is what links a bad latency percentile back to
+    one replayable request timeline. Storage is lazy — a series never
+    given an exemplar holds a single ``None``.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count", "max", "_pow2")
+    __slots__ = ("bounds", "counts", "sum", "count", "max", "_pow2",
+                 "exemplars")
 
     def __init__(self, bounds: Tuple[int, ...], pow2: bool) -> None:
         self.bounds = bounds
@@ -110,8 +117,10 @@ class HistogramSeries:
         #: lets summaries report a true max instead of a bucket edge).
         self.max = 0
         self._pow2 = pow2
+        #: Lazily created ``{bucket_index: (trace_id, value)}``.
+        self.exemplars = None
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar=None) -> None:
         self.count += 1
         self.sum += value
         if value > self.max:
@@ -126,6 +135,10 @@ class HistogramSeries:
         else:
             index = self._bisect(value)
         self.counts[index] += 1
+        if exemplar is not None:
+            if self.exemplars is None:
+                self.exemplars = {}
+            self.exemplars[index] = (exemplar, value)
 
     def _bisect(self, value) -> int:
         bounds = self.bounds
@@ -262,8 +275,8 @@ class Histogram(MetricFamily):
     def _make_series(self) -> HistogramSeries:
         return HistogramSeries(self.bounds, self._pow2)
 
-    def observe(self, value) -> None:
-        self.labels().observe(value)
+    def observe(self, value, exemplar=None) -> None:
+        self.labels().observe(value, exemplar=exemplar)
 
 
 class MetricsRegistry:
@@ -465,14 +478,20 @@ class MetricsRegistry:
             for values, child in family.series():
                 labels = dict(zip(family.label_names, values))
                 if family.kind == "histogram":
-                    series.append({
+                    entry = {
                         "labels": labels,
                         "buckets": list(child.counts),
                         "bounds": list(child.bounds),
                         "sum": child.sum,
                         "count": child.count,
                         "max": child.max,
-                    })
+                    }
+                    if child.exemplars:
+                        entry["exemplars"] = {
+                            str(i): [tid, value]
+                            for i, (tid, value)
+                            in sorted(child.exemplars.items())}
+                    series.append(entry)
                 else:
                     series.append({"labels": labels,
                                    "value": child.value})

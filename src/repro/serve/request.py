@@ -16,6 +16,8 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..trace.context import TraceContext
+
 #: Admission-control rejection reasons.
 REJECT_UNKNOWN_TENANT = "unknown-tenant"
 REJECT_QUEUE_FULL = "queue-full"
@@ -36,6 +38,11 @@ class InferenceRequest:
     submitted_at: int = 0
     priority: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Distributed-tracing identity. Minted by the server at submit
+    #: when absent; supplied by the fleet router for routed requests.
+    #: Propagated, never re-minted — a reshard or degraded retry keeps
+    #: the same ID end to end.
+    trace_ctx: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         self.frames = np.atleast_2d(

@@ -39,6 +39,8 @@ from ..runtime import Dataflow, DataflowExecutor, EspRuntime
 from ..sim import Environment, Interrupt, Process, ProgressCounter
 from ..soc import (CoherenceMode, TileActivity, activity_delta,
                    tile_activity)
+from ..trace.context import (TraceContext, TraceIdAllocator,
+                             batch_trace_ids)
 from .arbiter import TileArbiter, TileUnavailable
 from .batcher import Batch, Batcher
 from .queue import RequestQueue
@@ -50,6 +52,18 @@ from .request import (
     Rejection,
     TracedRequest,
 )
+
+
+def _trace_args(requests) -> Dict[str, object]:
+    """Span args attributing batch-level work to its member requests:
+    the primary ``trace_id`` plus the full ``trace_ids`` membership
+    when the batch coalesced more than one."""
+    ids = batch_trace_ids(requests)
+    if not ids:
+        return {}
+    if len(ids) == 1:
+        return {"trace_id": ids[0]}
+    return {"trace_id": ids[0], "trace_ids": ids}
 
 
 @dataclass(frozen=True)
@@ -232,6 +246,10 @@ class InferenceServer:
         self._terminal = ProgressCounter(self.env, name="serve:terminal")
         self._grant_waits: List[int] = []
         self._request_sids: Dict[str, int] = {}
+        # Deterministic per-server trace-ID mint ("t-0", "t-1", ...);
+        # a fleet router supplies its own context, so routed requests
+        # never draw from this counter.
+        self._trace_ids = TraceIdAllocator("t")
         self._started = False
         self.completions: List[Completion] = []
         self.rejections: List[Rejection] = []
@@ -431,15 +449,23 @@ class InferenceServer:
     # -- submission -------------------------------------------------------------
 
     def submit(self, tenant: str, frames: np.ndarray,
-               priority: int = 0) -> Optional[Rejection]:
+               priority: int = 0,
+               trace_ctx: Optional[TraceContext] = None
+               ) -> Optional[Rejection]:
         """Submit one request now; ``None`` on admission.
 
         A :class:`Rejection` (also recorded on the server) means the
         request never entered the system — backpressure the client
-        observes immediately.
+        observes immediately. ``trace_ctx`` propagates an upstream
+        trace identity (the fleet router's); when absent the server
+        mints one — either way the request carries exactly one
+        ``trace_id`` for its whole life.
         """
+        if trace_ctx is None:
+            trace_ctx = self._trace_ids.mint()
         request = InferenceRequest(tenant=tenant, frames=frames,
-                                   priority=priority)
+                                   priority=priority,
+                                   trace_ctx=trace_ctx)
         rejection = self.queue.submit(request, now=self.env.now)
         metrics = self.env.metrics
         if rejection is not None:
@@ -456,9 +482,11 @@ class InferenceServer:
             self._request_sids[request.request_id] = tracer.begin(
                 "serve", f"tenant:{tenant}", request.request_id,
                 "serve.request", tenant=tenant,
-                frames=request.n_frames, priority=priority)
+                frames=request.n_frames, priority=priority,
+                trace_id=trace_ctx.trace_id)
             tracer.instant("serve", f"tenant:{tenant}", "admit",
-                           "serve.submit", request=request.request_id)
+                           "serve.submit", request=request.request_id,
+                           trace_id=trace_ctx.trace_id)
             tracer.counter("serve", "queue_depth",
                            depth=self.queue.depth)
         return None
@@ -502,7 +530,8 @@ class InferenceServer:
                 env.tracer.counter("serve", "queue_depth",
                                    depth=self.queue.depth)
                 env.tracer.instant("serve", f"tenant:{name}", "batch",
-                                   "serve.batch", requests=len(requests))
+                                   "serve.batch", requests=len(requests),
+                                   **_trace_args(requests))
             batch = tenant.batcher.form(requests)
             tenant.in_flight_frames = batch.total_frames
             granted = yield from self._acquire_tiles(tenant, batch)
@@ -526,7 +555,8 @@ class InferenceServer:
         tracer = env.tracer
         sid = None if tracer is None else tracer.begin(
             "serve", f"tenant:{tenant.config.name}", "grant-wait",
-            "serve.grant_wait", tiles=len(tenant.tiles))
+            "serve.grant_wait", tiles=len(tenant.tiles),
+            **_trace_args(batch.requests))
         claim = self.arbiter.acquire(
             tenant.tiles, priority=priority, est_cycles=est,
             label=tenant.config.name)
@@ -570,10 +600,29 @@ class InferenceServer:
         names = sorted(tiles)
         before = tile_activity(self.soc, names)
         tracer = env.tracer
-        sid = None if tracer is None else tracer.begin(
-            "serve", f"tenant:{config.name}", "dispatch",
-            "serve.dispatch", mode=config.mode,
-            frames=batch.total_frames, requests=batch.n_requests)
+        sid = None
+        bound_keys: List[object] = []
+        if tracer is not None:
+            sid = tracer.begin(
+                "serve", f"tenant:{config.name}", "dispatch",
+                "serve.dispatch", mode=config.mode,
+                frames=batch.total_frames, requests=batch.n_requests,
+                **_trace_args(batch.requests))
+            # Bind the exclusively-granted tile set to this batch's
+            # trace IDs: every span the hardware records against these
+            # devices (wrapper phases, DMA bursts, driver threads, NoC
+            # packets to/from the tiles' coordinates) is annotated
+            # with the batch's trace_id until the tiles release.
+            ids = batch_trace_ids(batch.requests)
+            if ids:
+                for device in names:
+                    bound_keys.append(device)
+                    bound_keys.append(("cpu", f"driver:{device}"))
+                    socket = self.soc.accelerators.get(device)
+                    if socket is not None:
+                        bound_keys.append(str(socket.coord))
+                for key in bound_keys:
+                    tracer.bind(key, ids)
         error: Optional[BaseException] = None
         result = None
         try:
@@ -585,6 +634,8 @@ class InferenceServer:
                 coherence=coherence, dvfs=config.dvfs)
         except Interrupt:
             if sid is not None:
+                for key in bound_keys:
+                    tracer.unbind(key)
                 tracer.end(sid, outcome="interrupted")
             self.arbiter.release(tiles)
             raise
@@ -599,6 +650,8 @@ class InferenceServer:
         self.arbiter.release(tiles)
         self._quarantine_failed(tiles)
         if sid is not None:
+            for key in bound_keys:
+                tracer.unbind(key)
             tracer.end(sid, outcome="failed" if error else "completed")
         if error is not None:
             for request in batch.requests:
@@ -630,13 +683,17 @@ class InferenceServer:
             self.completions.append(completion)
             if env.metrics is not None:
                 metrics = env.metrics
+                exemplar = (None if request.trace_ctx is None
+                            else request.trace_ctx.trace_id)
                 metrics.serve_completed.labels(request.tenant).inc()
                 metrics.serve_frames.labels(request.tenant).inc(
                     request.n_frames)
                 metrics.serve_request_cycles.labels(
-                    request.tenant).observe(completion.latency_cycles)
+                    request.tenant).observe(completion.latency_cycles,
+                                            exemplar=exemplar)
                 metrics.serve_queue_wait_cycles.labels(
-                    request.tenant).observe(completion.queue_cycles)
+                    request.tenant).observe(completion.queue_cycles,
+                                            exemplar=exemplar)
             self._end_request_span(request.request_id, "completed")
             self._terminal.increment()
 

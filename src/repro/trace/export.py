@@ -10,7 +10,21 @@ The Chrome trace-event format (the JSON consumed by Perfetto and
   whose spans legitimately overlap on one track (NoC packets, kernel
   processes, serve requests) export as async begin/end pairs
   (``ph: "b"``/``"e"``) so the viewer nests them correctly;
+- still-open spans are clamped to the export cycle and flagged with an
+  ``"open": true`` arg, so a mid-run or postmortem dump is always a
+  valid trace instead of silently losing in-flight work;
 - instants and counters export as ``ph: "i"`` / ``ph: "C"``.
+
+Fleet merge: :func:`merge_chrome_traces` folds the namespaced tracers
+of every :class:`~repro.fleet.FleetInstance` into one trace — each
+instance's tracks are prefixed ``"{namespace}/"`` (so ``i0/serve``,
+``i1/serve`` render as separate process groups) and the router's
+:class:`~repro.fleet.RouterDecision` log becomes instants on a
+``router`` track carrying the same ``trace_id`` as the instance-side
+spans, which is what lets one ID reconstruct a request's waterfall
+across the routing boundary. The merge assumes the instances share a
+timebase (the lockstep :class:`~repro.fleet.Fleet` starts every
+instance at cycle 0 and advances them together, so they do).
 
 Timestamps: the trace-event ``ts`` unit is microseconds; cycles
 convert with the SoC clock (``ts = cycle / clock_mhz``).
@@ -20,7 +34,7 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .tracer import Tracer
 
@@ -35,67 +49,174 @@ def _is_async(cat: str) -> bool:
                for a in ASYNC_CATEGORIES)
 
 
+class _Emitter:
+    """Shared event emitter for single-tracer and merged exports."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[str, str], int] = {}
+
+    def pid_of(self, label: str) -> int:
+        if label not in self._pids:
+            self._pids[label] = len(self._pids) + 1
+            self.events.append({"ph": "M", "name": "process_name",
+                                "pid": self._pids[label], "tid": 0,
+                                "args": {"name": label}})
+        return self._pids[label]
+
+    def tid_of(self, pid_label: str, tid_label: str) -> int:
+        key = (pid_label, tid_label)
+        if key not in self._tids:
+            self._tids[key] = len(self._tids) + 1
+            self.events.append({"ph": "M", "name": "thread_name",
+                                "pid": self.pid_of(pid_label),
+                                "tid": self._tids[key],
+                                "args": {"name": tid_label}})
+        return self._tids[key]
+
+    def emit_tracer(self, tracer: Tracer, scale: float,
+                    prefix: str = "",
+                    include_counters: bool = True) -> None:
+        """All of one tracer's records, tracks prefixed by ``prefix``.
+
+        Async event ids take the same prefix (each tracer numbers its
+        spans independently, so bare sids would collide in a merge).
+        """
+        now = tracer.env.now
+        closed = sorted(tracer.spans, key=lambda s: (s.start, s.sid))
+        still_open = sorted(tracer.open_spans,
+                            key=lambda s: (s.start, s.sid))
+        for span, is_open in ([(s, False) for s in closed]
+                              + [(s, True) for s in still_open]):
+            pid_label = prefix + span.pid
+            pid = self.pid_of(pid_label)
+            tid = self.tid_of(pid_label, span.tid)
+            args = dict(span.args)
+            end = span.end
+            if is_open:
+                args["open"] = True
+                end = max(now, span.start)
+            base = {"name": span.name, "cat": span.cat, "pid": pid,
+                    "tid": tid, "args": args}
+            if _is_async(span.cat):
+                sid = f"{prefix}{span.sid}" if prefix else span.sid
+                self.events.append({**base, "ph": "b", "id": sid,
+                                    "ts": span.start * scale})
+                self.events.append({**base, "ph": "e", "id": sid,
+                                    "ts": end * scale})
+            else:
+                self.events.append({**base, "ph": "X",
+                                    "ts": span.start * scale,
+                                    "dur": (end - span.start) * scale})
+        for instant in tracer.instants:
+            pid_label = prefix + instant.pid
+            self.events.append({"ph": "i", "s": "t",
+                                "name": instant.name,
+                                "cat": instant.cat,
+                                "pid": self.pid_of(pid_label),
+                                "tid": self.tid_of(pid_label,
+                                                   instant.tid),
+                                "ts": instant.ts * scale,
+                                "args": dict(instant.args)})
+        if include_counters:
+            for sample in tracer.counters:
+                self.events.append({"ph": "C", "name": sample.name,
+                                    "pid": self.pid_of(prefix
+                                                       + sample.pid),
+                                    "tid": 0,
+                                    "ts": sample.ts * scale,
+                                    "args": dict(sample.values)})
+
+    def emit_decisions(self, decisions: Iterable[Any],
+                       scale: float) -> None:
+        """Router decisions as instants on a ``router`` track."""
+        for decision in decisions:
+            args: Dict[str, Any] = {
+                "instance": decision.instance,
+                "policy": decision.policy,
+                "shard": list(decision.shard),
+                "score": decision.score,
+            }
+            trace_id = getattr(decision, "trace_id", None)
+            if trace_id is not None:
+                args["trace_id"] = trace_id
+            self.events.append({"ph": "i", "s": "t",
+                                "name": decision.tenant,
+                                "cat": "fleet.route",
+                                "pid": self.pid_of("router"),
+                                "tid": self.tid_of("router", "route"),
+                                "ts": decision.at * scale,
+                                "args": args})
+
+
 def to_chrome_trace(tracer: Tracer, clock_mhz: float = 1.0,
                     include_counters: bool = True) -> Dict[str, Any]:
     """Render the tracer's records as a Chrome trace-event object."""
     if clock_mhz <= 0:
         raise ValueError(f"clock_mhz must be > 0, got {clock_mhz}")
     scale = 1.0 / clock_mhz   # cycles -> microseconds
-    events: List[Dict[str, Any]] = []
-
-    pids: Dict[str, int] = {}
-    tids: Dict[Tuple[str, str], int] = {}
-
-    def pid_of(label: str) -> int:
-        if label not in pids:
-            pids[label] = len(pids) + 1
-            events.append({"ph": "M", "name": "process_name",
-                           "pid": pids[label], "tid": 0,
-                           "args": {"name": label}})
-        return pids[label]
-
-    def tid_of(pid_label: str, tid_label: str) -> int:
-        key = (pid_label, tid_label)
-        if key not in tids:
-            tids[key] = len(tids) + 1
-            events.append({"ph": "M", "name": "thread_name",
-                           "pid": pid_of(pid_label), "tid": tids[key],
-                           "args": {"name": tid_label}})
-        return tids[key]
-
-    for span in sorted(tracer.spans, key=lambda s: (s.start, s.sid)):
-        pid = pid_of(span.pid)
-        tid = tid_of(span.pid, span.tid)
-        base = {"name": span.name, "cat": span.cat, "pid": pid,
-                "tid": tid, "args": dict(span.args)}
-        if _is_async(span.cat):
-            events.append({**base, "ph": "b", "id": span.sid,
-                           "ts": span.start * scale})
-            events.append({**base, "ph": "e", "id": span.sid,
-                           "ts": span.end * scale})
-        else:
-            events.append({**base, "ph": "X", "ts": span.start * scale,
-                           "dur": (span.end - span.start) * scale})
-    for instant in tracer.instants:
-        events.append({"ph": "i", "s": "t", "name": instant.name,
-                       "cat": instant.cat,
-                       "pid": pid_of(instant.pid),
-                       "tid": tid_of(instant.pid, instant.tid),
-                       "ts": instant.ts * scale,
-                       "args": dict(instant.args)})
-    if include_counters:
-        for sample in tracer.counters:
-            events.append({"ph": "C", "name": sample.name,
-                           "pid": pid_of(sample.pid), "tid": 0,
-                           "ts": sample.ts * scale,
-                           "args": dict(sample.values)})
+    emitter = _Emitter()
+    emitter.emit_tracer(tracer, scale,
+                        include_counters=include_counters)
     return {
-        "traceEvents": events,
+        "traceEvents": emitter.events,
         "displayTimeUnit": "ns",
         "otherData": {
             "clock_mhz": clock_mhz,
             "spans": len(tracer.spans),
             "open_spans": len(tracer.open_spans),
+            "dropped": tracer.dropped,
+        },
+    }
+
+
+def merge_chrome_traces(tracers: Mapping[str, Tracer],
+                        clock_mhz: float = 1.0,
+                        decisions: Iterable[Any] = (),
+                        include_counters: bool = True
+                        ) -> Dict[str, Any]:
+    """One fleet-wide Chrome trace from many namespaced tracers.
+
+    ``tracers`` maps a namespace to each instance's tracer; the
+    namespace becomes the track prefix (``"{ns}/{pid}"``). A tracer
+    that carries its own ``namespace`` must agree with its key —
+    mismatches raise, mirroring ``merge_snapshots`` for metrics.
+    ``decisions`` (the fleet router's ``RouterDecision`` log) export
+    as instants on a shared ``router`` track, each carrying the
+    ``trace_id`` it minted for the routed request.
+    """
+    if clock_mhz <= 0:
+        raise ValueError(f"clock_mhz must be > 0, got {clock_mhz}")
+    if not tracers:
+        raise ValueError("merge_chrome_traces needs at least one tracer")
+    scale = 1.0 / clock_mhz
+    emitter = _Emitter()
+    total_spans = total_open = total_dropped = 0
+    for name, tracer in tracers.items():
+        if not name:
+            raise ValueError("merged tracers need non-empty namespaces")
+        if tracer.namespace is not None and tracer.namespace != name:
+            raise ValueError(
+                f"tracer namespace {tracer.namespace!r} does not match "
+                f"merge key {name!r}")
+        emitter.emit_tracer(tracer, scale, prefix=f"{name}/",
+                            include_counters=include_counters)
+        total_spans += len(tracer.spans)
+        total_open += len(tracer.open_spans)
+        total_dropped += tracer.dropped
+    decisions = list(decisions)
+    emitter.emit_decisions(decisions, scale)
+    return {
+        "traceEvents": emitter.events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock_mhz": clock_mhz,
+            "instances": list(tracers),
+            "spans": total_spans,
+            "open_spans": total_open,
+            "dropped": total_dropped,
+            "router_decisions": len(decisions),
         },
     }
 

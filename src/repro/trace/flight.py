@@ -1,0 +1,223 @@
+"""The flight recorder: alert-triggered postmortem capture.
+
+Aircraft flight recorders keep a bounded window of everything, all the
+time, precisely because nobody knows in advance *when* the interesting
+five minutes will happen. The serving fleet has the same problem: an
+SLO alert fires tens of thousands of cycles after the contention that
+caused it, and by the time an operator attaches a tracer the evidence
+is gone. The :class:`FlightRecorder` closes that gap:
+
+- the per-instance :class:`~repro.trace.Tracer` runs always-on in
+  bounded ring-buffer mode (``capacity=``), so the recent past is
+  always available at O(capacity) memory;
+- the recorder subscribes to a
+  :class:`~repro.metrics.HealthMonitor`; the moment any rule
+  transitions to *firing* it dumps a postmortem artifact to disk —
+  the recent span window from every tracer (still-open spans clamped,
+  exactly like a mid-run Chrome export), a full metrics snapshot, the
+  tail of the control plane's :class:`~repro.control.ControlAction`
+  log, and the firing rule itself.
+
+Dumping happens at alert-transition time inside ``evaluate()`` — a
+pure observer; it never schedules simulation events, so an armed
+recorder preserves the pinned seed cycle counts (asserted by
+``benchmarks/bench_trace.py``).
+
+Postmortem schema (``"repro.postmortem/v1"``)::
+
+    {
+      "schema": "repro.postmortem/v1",
+      "cycle": <dump cycle>,
+      "window": [<start>, <end>],          # last window_cycles
+      "alert": {rule, severity, state, fired_at, detail},
+      "spans": {<source>: [{pid, tid, name, cat, start, end, open,
+                            args}, ...]},
+      "trace_ids": [...],                  # distinct ids in window
+      "metrics": <registry.snapshot()>,    # exemplars included
+      "actions": [{cycle, kind, target, rule, outcome, detail}, ...],
+      "dropped": {<source>: <ring evictions>}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .tracer import Span, Tracer
+
+POSTMORTEM_SCHEMA = "repro.postmortem/v1"
+
+#: Default look-back window of a dump, in cycles.
+DEFAULT_WINDOW_CYCLES = 50_000
+
+#: Control-plane actions included per dump (most recent last).
+ACTION_TAIL = 32
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slug(text: str) -> str:
+    return _SLUG_RE.sub("-", text).strip("-") or "alert"
+
+
+def _span_record(span: Span, now: int) -> Dict[str, Any]:
+    record = {
+        "pid": span.pid, "tid": span.tid, "name": str(span.name),
+        "cat": span.cat, "start": span.start,
+        "end": span.end if span.end is not None else max(now,
+                                                         span.start),
+        "open": span.end is None,
+    }
+    if span.args:
+        record["args"] = {k: _jsonable(v) for k, v in span.args.items()}
+    return record
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class FlightRecorder:
+    """Dumps postmortem artifacts when health alerts start firing.
+
+    ``tracers`` is either one :class:`Tracer` or a mapping of source
+    name -> tracer (a fleet's namespaced tracers); ``controller`` is
+    an optional :class:`~repro.control.ControlPlane` whose recent
+    action log is included as remediation context. Arm it with
+    :meth:`arm`; every *firing* transition then produces one
+    ``postmortem-<rule>-c<cycle>.json`` under ``out_dir``, up to
+    ``max_dumps`` per recorder (an alert storm must not fill the
+    disk).
+    """
+
+    def __init__(self, out_dir: Union[str, Path],
+                 tracers: Union[Tracer, Mapping[str, Tracer]],
+                 controller: Optional[object] = None,
+                 window_cycles: int = DEFAULT_WINDOW_CYCLES,
+                 max_dumps: int = 16,
+                 clock_mhz: float = 1.0) -> None:
+        if window_cycles < 1:
+            raise ValueError(f"window_cycles must be >= 1, "
+                             f"got {window_cycles}")
+        if max_dumps < 1:
+            raise ValueError(f"max_dumps must be >= 1, got {max_dumps}")
+        self.out_dir = Path(out_dir)
+        if isinstance(tracers, Tracer):
+            tracers = {tracers.namespace or "soc": tracers}
+        if not tracers:
+            raise ValueError("FlightRecorder needs at least one tracer")
+        self.tracers: Dict[str, Tracer] = dict(tracers)
+        self.controller = controller
+        self.window_cycles = window_cycles
+        self.max_dumps = max_dumps
+        self.clock_mhz = clock_mhz
+        #: Paths of the artifacts written so far, in dump order.
+        self.dumps: List[Path] = []
+        self.suppressed = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def arm(self, monitor) -> "FlightRecorder":
+        """Subscribe to a :class:`~repro.metrics.HealthMonitor`.
+
+        Returns self, so ``FlightRecorder(...).arm(monitor)`` reads
+        naturally at a call site.
+        """
+        monitor.subscribe(self._on_evaluate)
+        return self
+
+    def _on_evaluate(self, monitor, transitions) -> None:
+        for alert in transitions:
+            if alert.is_firing:
+                self.record(monitor, alert)
+
+    # -- capture ------------------------------------------------------------
+
+    def record(self, monitor, alert) -> Optional[Path]:
+        """Capture one postmortem for ``alert`` (None if at max_dumps)."""
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed += 1
+            return None
+        now = monitor.registry.env.now
+        artifact = self.capture(now, alert=alert,
+                                registry=monitor.registry)
+        path = (self.out_dir
+                / f"postmortem-{_slug(alert.rule)}-c{now}.json")
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        self.dumps.append(path)
+        return path
+
+    def capture(self, now: int, alert=None,
+                registry=None) -> Dict[str, Any]:
+        """The postmortem artifact as a dict (no disk I/O).
+
+        Usable on its own for an on-demand "what just happened?"
+        snapshot; :meth:`record` wraps it with the firing alert and
+        file output.
+        """
+        t0 = max(0, now - self.window_cycles)
+        spans: Dict[str, List[Dict[str, Any]]] = {}
+        dropped: Dict[str, int] = {}
+        trace_ids = set()
+        for source, tracer in self.tracers.items():
+            window = tracer.spans_between(t0, now + 1)
+            window = window + [s for s in tracer.open_spans
+                               if s.start < now + 1]
+            records = [_span_record(s, now)
+                       for s in sorted(window,
+                                       key=lambda s: (s.start, s.sid))]
+            spans[source] = records
+            dropped[source] = tracer.dropped
+            for record in records:
+                args = record.get("args") or {}
+                tid = args.get("trace_id")
+                if tid is not None:
+                    trace_ids.add(tid)
+                for extra in args.get("trace_ids") or ():
+                    trace_ids.add(extra)
+        artifact: Dict[str, Any] = {
+            "schema": POSTMORTEM_SCHEMA,
+            "cycle": now,
+            "clock_mhz": self.clock_mhz,
+            "window": [t0, now],
+            "alert": None if alert is None else {
+                "rule": alert.rule,
+                "severity": alert.severity,
+                "state": alert.state,
+                "fired_at": alert.fired_at,
+                "detail": alert.detail,
+            },
+            "spans": spans,
+            "trace_ids": sorted(trace_ids),
+            "metrics": (None if registry is None
+                        else registry.snapshot()),
+            "actions": self._action_tail(),
+            "dropped": dropped,
+        }
+        return artifact
+
+    def _action_tail(self) -> List[Dict[str, Any]]:
+        if self.controller is None:
+            return []
+        actions = getattr(self.controller, "actions", [])
+        return [{
+            "cycle": action.cycle,
+            "kind": action.kind,
+            "target": action.target,
+            "rule": action.rule,
+            "outcome": action.outcome,
+            "detail": action.detail,
+        } for action in actions[-ACTION_TAIL:]]
+
+    def __repr__(self) -> str:
+        return (f"<FlightRecorder {len(self.tracers)} tracer(s), "
+                f"window={self.window_cycles}, "
+                f"{len(self.dumps)}/{self.max_dumps} dumps>")

@@ -1,0 +1,226 @@
+"""trace-query: one request's waterfall out of an exported trace.
+
+Distributed tracing is only useful if the last step is cheap: given a
+``trace_id``, show everything that happened to that request, in order,
+with cycles attributed to the stages an operator reasons about
+(routing, queueing, driver software, DMA, compute, NoC). This module
+is that last step, operating on an *exported* Chrome trace object —
+single-SoC (:func:`~repro.trace.to_chrome_trace`) or fleet-merged
+(:func:`~repro.trace.merge_chrome_traces`) — so it works equally on a
+live tracer's export, a trace.json from disk, or the span window of a
+postmortem converted to a trace.
+
+Entry points:
+
+- :func:`trace_ids_in` — every trace ID present in a trace (what the
+  CLI lists when invoked without an ID);
+- :func:`query_trace` — the :class:`RequestTimeline` of one ID: the
+  event waterfall plus a cycle attribution;
+- ``python -m repro trace-query <trace_id>`` — the CLI wrapper.
+
+Timestamps in a Chrome trace are microseconds; ``otherData.clock_mhz``
+(written by our exporters) converts them back to cycles exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .critical_path import group_of
+
+#: Attribution groups reported per request (order = report order).
+QUERY_GROUPS = ("queue", "software", "dma", "compute", "noc", "sync")
+
+
+@dataclass
+class TimelineEvent:
+    """One event of a request's waterfall, back in cycle units."""
+
+    start: int
+    end: Optional[int]       # None for instants
+    track: str               # "pid/tid" labels from the trace
+    name: str
+    cat: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return 0 if self.end is None else self.end - self.start
+
+
+@dataclass
+class RequestTimeline:
+    """Everything one ``trace_id`` touched, plus a cycle attribution.
+
+    ``busy_cycles`` sums span durations per attribution group —
+    engine-busy cycles, not wall time (two DMA engines moving data for
+    the same batch in parallel both count). ``queue_cycles`` and
+    ``latency_cycles`` are wall-clock: admission→dispatch and
+    admission→completion of the serve-layer request span.
+    """
+
+    trace_id: str
+    events: List[TimelineEvent]
+    routed_to: Optional[str] = None
+    routed_at: Optional[int] = None
+    latency_cycles: Optional[int] = None
+    queue_cycles: Optional[int] = None
+    busy_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def start(self) -> Optional[int]:
+        return min((e.start for e in self.events), default=None)
+
+    @property
+    def end(self) -> Optional[int]:
+        ends = [e.end for e in self.events if e.end is not None]
+        return max(ends, default=None)
+
+    def render(self, limit: int = 60) -> str:
+        """A text waterfall: one line per event, earliest first."""
+        lines = [f"== trace {self.trace_id}: {len(self.events)} "
+                 f"events ==" ]
+        if self.routed_to is not None:
+            lines.append(f"routed to {self.routed_to} at cycle "
+                         f"{self.routed_at}")
+        if self.latency_cycles is not None:
+            queue = ("?" if self.queue_cycles is None
+                     else f"{self.queue_cycles:,}")
+            lines.append(f"latency {self.latency_cycles:,} cycles "
+                         f"(queue {queue})")
+        busy = ", ".join(f"{group}={self.busy_cycles[group]:,}"
+                         for group in QUERY_GROUPS
+                         if self.busy_cycles.get(group))
+        if busy:
+            lines.append(f"busy cycles by stage: {busy}")
+        lines.append(f"{'cycle':>10}  {'dur':>8}  "
+                     f"{'track':<32}{'category':<18}event")
+        shown = self.events[:limit]
+        for event in shown:
+            dur = "-" if event.end is None else f"{event.cycles:,}"
+            lines.append(f"{event.start:>10,}  {dur:>8}  "
+                         f"{event.track:<32}{event.cat:<18}"
+                         f"{event.name}")
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+
+def _label_maps(events) -> Tuple[Dict[int, str],
+                                 Dict[Tuple[int, int], str]]:
+    pids: Dict[int, str] = {}
+    tids: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            pids[event["pid"]] = event["args"]["name"]
+        elif event.get("name") == "thread_name":
+            tids[(event["pid"], event["tid"])] = event["args"]["name"]
+    return pids, tids
+
+
+def _track_of(event, pids, tids) -> str:
+    pid = pids.get(event.get("pid"), str(event.get("pid")))
+    tid = tids.get((event.get("pid"), event.get("tid")))
+    return f"{pid}/{tid}" if tid is not None else pid
+
+
+def _matches(args: Dict[str, Any], trace_id: str) -> bool:
+    if not args:
+        return False
+    if args.get("trace_id") == trace_id:
+        return True
+    return trace_id in (args.get("trace_ids") or ())
+
+
+def trace_ids_in(trace: Dict[str, Any]) -> List[str]:
+    """Every distinct trace ID appearing in a trace, sorted."""
+    ids = set()
+    for event in trace.get("traceEvents", ()):
+        args = event.get("args") or {}
+        tid = args.get("trace_id")
+        if tid is not None:
+            ids.add(tid)
+        for extra in args.get("trace_ids") or ():
+            ids.add(extra)
+    return sorted(ids)
+
+
+def query_trace(trace: Dict[str, Any],
+                trace_id: str) -> RequestTimeline:
+    """The :class:`RequestTimeline` of one ID in an exported trace."""
+    events = trace.get("traceEvents", ())
+    clock_mhz = float(
+        (trace.get("otherData") or {}).get("clock_mhz", 1.0))
+    pids, tids = _label_maps(events)
+
+    def cycles_of(ts: float) -> int:
+        return round(ts * clock_mhz)
+
+    timeline: List[TimelineEvent] = []
+    open_async: Dict[Tuple[Any, Any], Dict[str, Any]] = {}
+    for event in events:
+        ph = event.get("ph")
+        args = event.get("args") or {}
+        if ph == "X" and _matches(args, trace_id):
+            start = cycles_of(event["ts"])
+            timeline.append(TimelineEvent(
+                start=start,
+                end=start + round(event.get("dur", 0) * clock_mhz),
+                track=_track_of(event, pids, tids),
+                name=str(event.get("name")),
+                cat=event.get("cat", ""), args=args))
+        elif ph == "b" and _matches(args, trace_id):
+            open_async[(event.get("name"), event.get("id"))] = event
+        elif ph == "e":
+            begun = open_async.pop(
+                (event.get("name"), event.get("id")), None)
+            if begun is not None:
+                timeline.append(TimelineEvent(
+                    start=cycles_of(begun["ts"]),
+                    end=cycles_of(event["ts"]),
+                    track=_track_of(begun, pids, tids),
+                    name=str(begun.get("name")),
+                    cat=begun.get("cat", ""),
+                    args=begun.get("args") or {}))
+        elif ph == "i" and _matches(args, trace_id):
+            timeline.append(TimelineEvent(
+                start=cycles_of(event["ts"]), end=None,
+                track=_track_of(event, pids, tids),
+                name=str(event.get("name")),
+                cat=event.get("cat", ""), args=args))
+    timeline.sort(key=lambda e: (e.start,
+                                 e.end if e.end is not None
+                                 else e.start))
+
+    result = RequestTimeline(trace_id=trace_id, events=timeline)
+    request_span = None
+    dispatch_span = None
+    for event in timeline:
+        if event.cat == "fleet.route" and result.routed_to is None:
+            result.routed_to = event.args.get("instance")
+            result.routed_at = event.start
+        elif event.cat == "serve.request" and request_span is None:
+            request_span = event
+        elif event.cat == "serve.dispatch" and dispatch_span is None:
+            dispatch_span = event
+        if event.end is not None:
+            group = group_of(event.cat)
+            if group in QUERY_GROUPS:
+                result.busy_cycles[group] = \
+                    result.busy_cycles.get(group, 0) + event.cycles
+    if request_span is not None and request_span.end is not None:
+        result.latency_cycles = request_span.cycles
+        if dispatch_span is not None:
+            result.queue_cycles = (dispatch_span.start
+                                   - request_span.start)
+    return result
+
+
+def load_trace(path) -> Dict[str, Any]:
+    """Read a Chrome trace JSON file (the CLI's --input)."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.metrics import (
     MetricsRegistry,
+    parse_exemplars,
     parse_exposition,
     to_prometheus,
 )
@@ -120,6 +121,61 @@ class TestRoundTrip:
             parse_exposition("not-a-number-after {")
         with pytest.raises(ValueError):
             parse_exposition("name{a=unquoted} 1")
+
+
+class TestExemplars:
+    def _observed(self):
+        registry = fresh_registry()
+        hist = registry.histogram("lat_cycles", buckets=(100, 10_000))
+        hist.observe(50, exemplar="t-0")
+        hist.observe(70, exemplar="t-3")       # same bucket: last wins
+        hist.observe(5_000)                    # no exemplar recorded
+        hist.observe(1_000_000, exemplar="t-7")   # +Inf bucket
+        return registry
+
+    def test_bucket_lines_carry_openmetrics_suffix(self):
+        text = to_prometheus(self._observed())
+        assert ('le="100"} 2 # {trace_id="t-3"} 70' in text)
+        assert ('le="+Inf"} 4 # {trace_id="t-7"} 1000000' in text)
+        # The exemplar-less bucket has a bare sample line.
+        assert 'le="10000"} 3\n' in text
+
+    def test_parse_exemplars_round_trip(self):
+        exemplars = parse_exemplars(to_prometheus(self._observed()))
+        by_le = {labels["le"]: (ex_labels["trace_id"], ex_value)
+                 for name, labels, value, ex_labels, ex_value
+                 in exemplars}
+        assert by_le == {"100": ("t-3", 70.0),
+                         "+Inf": ("t-7", 1000000.0)}
+
+    def test_parse_exposition_still_three_tuples(self):
+        # The exemplar suffix must be invisible to the plain parser:
+        # same shape, same values as an exemplar-free exposition.
+        samples = parse_exposition(to_prometheus(self._observed()))
+        buckets = [(labels["le"], value) for name, labels, value
+                   in samples if name.endswith("_bucket")]
+        assert buckets == [("100", 2.0), ("10000", 3.0),
+                           ("+Inf", 4.0)]
+
+    def test_snapshot_includes_exemplars(self):
+        snap = self._observed().snapshot()
+        family = next(f for f in snap["families"]
+                      if f["name"] == "lat_cycles")
+        exemplars = family["series"][0]["exemplars"]
+        assert exemplars == {"0": ["t-3", 70],
+                             "2": ["t-7", 1000000]}
+
+    def test_exemplar_free_histogram_unchanged(self):
+        registry = fresh_registry()
+        hist = registry.histogram("plain_cycles", buckets=(10,))
+        hist.observe(5)
+        text = to_prometheus(registry)
+        assert " # {" not in text
+        snap = registry.snapshot()
+        family = next(f for f in snap["families"]
+                      if f["name"] == "plain_cycles")
+        assert "exemplars" not in family["series"][0]
+        assert parse_exemplars(text) == []
 
 
 def test_snapshot_is_json_serializable(tmp_path):

@@ -10,6 +10,7 @@ from repro.trace import (
     Tracer,
     attach_tracer,
     flame_summary,
+    merge_chrome_traces,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -86,13 +87,33 @@ class TestToChromeTrace:
                                 include_counters=False)
         assert not any(e["ph"] == "C" for e in trace["traceEvents"])
 
-    def test_open_spans_not_exported_but_counted(self):
+    def test_open_spans_clamped_to_export_cycle(self):
         tracer = synthetic_tracer()
+        tracer.env.now = 60
         tracer.begin("a0", "wrapper", "dangling", "acc.load")
+        tracer.env.now = 100
         trace = to_chrome_trace(tracer)
         assert trace["otherData"]["open_spans"] == 1
-        names = [e["name"] for e in trace["traceEvents"]]
-        assert "dangling" not in names
+        dangling = next(e for e in trace["traceEvents"]
+                        if e["name"] == "dangling")
+        # Clamped to the export cycle and flagged, so mid-run dumps
+        # keep in-flight work instead of silently losing it.
+        assert dangling["ph"] == "X"
+        assert dangling["args"]["open"] is True
+        assert (dangling["ts"], dangling["dur"]) == (60, 40)
+        assert validate_chrome_trace(trace) == []
+
+    def test_open_async_spans_export_balanced(self):
+        tracer = synthetic_tracer()
+        tracer.env.now = 20
+        tracer.begin("noc", "dma_req", "INFLIGHT", "noc.packet")
+        tracer.env.now = 25
+        trace = to_chrome_trace(tracer)
+        inflight = [e for e in trace["traceEvents"]
+                    if e["name"] == "INFLIGHT"]
+        assert {e["ph"] for e in inflight} == {"b", "e"}
+        assert all(e["args"]["open"] is True for e in inflight)
+        assert validate_chrome_trace(trace) == []
 
 
 class TestValidator:
@@ -154,6 +175,94 @@ class TestValidator:
              "ts": 10, "dur": 3},
         ]}
         assert validate_chrome_trace(fine) == []
+
+
+class _Decision:
+    """RouterDecision stand-in with the fields the exporter reads."""
+
+    def __init__(self, at, tenant, instance, trace_id=None):
+        self.at = at
+        self.tenant = tenant
+        self.instance = instance
+        self.policy = "round-robin"
+        self.shard = ("i0", "i1")
+        self.score = 0.0
+        self.trace_id = trace_id
+
+
+def fleet_tracers():
+    tracers = {}
+    for index, ns in enumerate(("i0", "i1")):
+        env = FakeClock()
+        tracer = Tracer(env, namespace=ns)
+        tracer.complete("a0", "wrapper", "c", "acc.compute", 0, 40,
+                        trace_id=f"f-{index}")
+        # Same bare sids in both tracers; overlapping async spans.
+        tracer.complete("noc", "dma_req", "PKT", "noc.packet", 2, 9)
+        tracer.complete("noc", "dma_req", "PKT", "noc.packet", 5, 12)
+        env.now = 50
+        tracers[ns] = tracer
+    return tracers
+
+
+class TestMergeChromeTraces:
+    def test_tracks_namespaced_per_instance(self):
+        trace = merge_chrome_traces(fleet_tracers())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"
+                and e["name"] == "process_name"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"i0/a0", "i0/noc", "i1/a0", "i1/noc"} <= names
+        assert trace["otherData"]["instances"] == ["i0", "i1"]
+        assert trace["otherData"]["spans"] == 6
+
+    def test_merged_trace_is_valid(self):
+        assert validate_chrome_trace(
+            merge_chrome_traces(fleet_tracers())) == []
+
+    def test_async_ids_do_not_collide_across_instances(self):
+        # Both tracers number their spans 0..2; the merge must keep
+        # each instance's begin/end pairs distinct.
+        trace = merge_chrome_traces(fleet_tracers())
+        async_ids = {e["id"] for e in trace["traceEvents"]
+                     if e.get("ph") in ("b", "e")}
+        assert any(str(i).startswith("i0/") for i in async_ids)
+        assert any(str(i).startswith("i1/") for i in async_ids)
+        assert validate_chrome_trace(trace) == []
+
+    def test_router_decisions_become_instants_with_trace_id(self):
+        decisions = [_Decision(5, "tenant-a", "i0", trace_id="f-0"),
+                     _Decision(9, "tenant-b", "i1")]
+        trace = merge_chrome_traces(fleet_tracers(),
+                                    decisions=decisions)
+        routes = [e for e in trace["traceEvents"]
+                  if e.get("cat") == "fleet.route"]
+        assert [e["ph"] for e in routes] == ["i", "i"]
+        assert routes[0]["args"]["trace_id"] == "f-0"
+        assert routes[0]["args"]["instance"] == "i0"
+        assert "trace_id" not in routes[1]["args"]
+        assert trace["otherData"]["router_decisions"] == 2
+
+    def test_namespace_mismatch_raises(self):
+        tracers = fleet_tracers()
+        with pytest.raises(ValueError, match="does not match"):
+            merge_chrome_traces({"wrong": tracers["i0"]})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            merge_chrome_traces({})
+        with pytest.raises(ValueError):
+            merge_chrome_traces({"": Tracer(FakeClock())})
+        with pytest.raises(ValueError):
+            merge_chrome_traces(fleet_tracers(), clock_mhz=0)
+
+    def test_dropped_counts_aggregate(self):
+        tracers = fleet_tracers()
+        ring = Tracer(FakeClock(), namespace="i2", capacity=1)
+        for i in range(5):
+            ring.complete("t", "e", "s", "cat", i, i + 1)
+        tracers["i2"] = ring
+        trace = merge_chrome_traces(tracers)
+        assert trace["otherData"]["dropped"] == ring.dropped > 0
 
 
 class TestRoundTrip:

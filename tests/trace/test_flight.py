@@ -1,0 +1,179 @@
+"""FlightRecorder: alert-triggered postmortems, window capture, and
+the dump-storm bound."""
+
+import json
+
+import pytest
+
+from repro.metrics import HealthMonitor, SloRule, attach_metrics
+from repro.sim import Environment
+from repro.trace import (
+    DEFAULT_WINDOW_CYCLES,
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    Tracer,
+    attach_tracer,
+)
+
+
+def breach_rule(name="always-breach", severity="critical"):
+    return SloRule(name=name,
+                   check=lambda reg, now: f"forced at cycle {now}",
+                   severity=severity)
+
+
+def healthy_rule():
+    return SloRule(name="always-fine", check=lambda reg, now: None)
+
+
+def stack(tmp_path, capacity=None, window=1_000, rules=(),
+          max_dumps=16):
+    env = Environment()
+    tracer = attach_tracer(env, capacity=capacity)
+    registry = attach_metrics(env)
+    monitor = HealthMonitor(registry, list(rules))
+    recorder = FlightRecorder(tmp_path / "pm", tracer,
+                              window_cycles=window,
+                              max_dumps=max_dumps).arm(monitor)
+    return env, tracer, monitor, recorder
+
+
+class TestValidation:
+    def test_rejects_bad_window_and_dump_bounds(self):
+        tracer = Tracer(Environment())
+        with pytest.raises(ValueError):
+            FlightRecorder("x", tracer, window_cycles=0)
+        with pytest.raises(ValueError):
+            FlightRecorder("x", tracer, max_dumps=0)
+        with pytest.raises(ValueError):
+            FlightRecorder("x", {})
+
+
+class TestAlertTriggeredDump:
+    def test_firing_alert_writes_postmortem(self, tmp_path):
+        env, tracer, monitor, recorder = stack(
+            tmp_path, rules=[breach_rule()])
+        env.run(until=env.timeout(500))
+        tracer.complete("a0", "wrapper", "c", "acc.compute", 100, 400,
+                        trace_id="t-0")
+        monitor.evaluate()
+
+        assert len(recorder.dumps) == 1
+        path = recorder.dumps[0]
+        assert path.name == "postmortem-always-breach-c500.json"
+        artifact = json.loads(path.read_text())
+        assert artifact["schema"] == POSTMORTEM_SCHEMA
+        assert artifact["cycle"] == 500
+        assert artifact["window"] == [0, 500]
+        assert artifact["alert"]["rule"] == "always-breach"
+        assert artifact["alert"]["severity"] == "critical"
+        assert artifact["alert"]["state"] == "firing"
+        assert artifact["trace_ids"] == ["t-0"]
+        names = [s["name"] for s in artifact["spans"]["soc"]]
+        assert "c" in names
+        assert artifact["metrics"] is not None
+        assert artifact["dropped"] == {"soc": 0}
+
+    def test_healthy_monitor_never_dumps(self, tmp_path):
+        env, _, monitor, recorder = stack(
+            tmp_path, rules=[healthy_rule()])
+        monitor.evaluate()
+        monitor.evaluate()
+        assert recorder.dumps == [] and recorder.suppressed == 0
+
+    def test_only_transitions_dump_not_steady_firing(self, tmp_path):
+        env, _, monitor, recorder = stack(
+            tmp_path, rules=[breach_rule()])
+        monitor.evaluate()
+        monitor.evaluate()   # still firing: no new transition
+        assert len(recorder.dumps) == 1
+
+    def test_window_excludes_old_spans(self, tmp_path):
+        env, tracer, monitor, recorder = stack(
+            tmp_path, window=100, rules=[breach_rule()])
+        tracer.complete("a0", "w", "old", "acc.compute", 0, 10)
+        env.run(until=env.timeout(1_000))
+        tracer.complete("a0", "w", "recent", "acc.compute", 950, 990)
+        monitor.evaluate()
+        names = [s["name"] for s in json.loads(
+            recorder.dumps[0].read_text())["spans"]["soc"]]
+        assert names == ["recent"]
+
+    def test_open_spans_captured_and_flagged(self, tmp_path):
+        env, tracer, monitor, recorder = stack(
+            tmp_path, rules=[breach_rule()])
+        env.run(until=env.timeout(200))
+        tracer.begin("a0", "w", "inflight", "acc.compute")
+        env.run(until=env.timeout(50))
+        monitor.evaluate()
+        spans = json.loads(
+            recorder.dumps[0].read_text())["spans"]["soc"]
+        inflight = next(s for s in spans if s["name"] == "inflight")
+        assert inflight["open"] is True
+        assert inflight["end"] == 250   # clamped to the dump cycle
+
+    def test_max_dumps_suppresses_storm(self, tmp_path):
+        env, _, monitor, recorder = stack(
+            tmp_path, max_dumps=2,
+            rules=[breach_rule(f"storm-{i}") for i in range(5)])
+        monitor.evaluate()
+        assert len(recorder.dumps) == 2
+        assert recorder.suppressed == 3
+
+    def test_artifact_is_json_round_trippable(self, tmp_path):
+        env, tracer, monitor, recorder = stack(
+            tmp_path, rules=[breach_rule()])
+        # Args with non-JSON values (tuples, objects) must be coerced.
+        tracer.complete("a0", "w", 7, "acc.compute", 0, 10,
+                        shape=(2, 3), obj=object())
+        monitor.evaluate()
+        artifact = json.loads(recorder.dumps[0].read_text())
+        span = artifact["spans"]["soc"][0]
+        assert span["name"] == "7"
+        assert span["args"]["shape"] == [2, 3]
+        assert isinstance(span["args"]["obj"], str)
+
+
+class TestCapture:
+    def test_capture_without_alert_or_registry(self):
+        env = Environment()
+        tracer = attach_tracer(env)
+        tracer.complete("a0", "w", "c", "acc.compute", 0, 10)
+        recorder = FlightRecorder("unused", tracer)
+        artifact = recorder.capture(now=20)
+        assert artifact["alert"] is None
+        assert artifact["metrics"] is None
+        assert artifact["window"] == [0, 20]
+        assert len(artifact["spans"]["soc"]) == 1
+
+    def test_default_window(self):
+        recorder = FlightRecorder("unused", Tracer(Environment()))
+        assert recorder.window_cycles == DEFAULT_WINDOW_CYCLES
+
+    def test_controller_action_tail_included(self, tmp_path):
+        class Action:
+            cycle, kind, target = 5, "reshard", "classifier"
+            rule, outcome, detail = "broken-tile", "applied", "moved"
+
+        class Controller:
+            actions = [Action()]
+
+        env = Environment()
+        tracer = attach_tracer(env)
+        recorder = FlightRecorder(tmp_path, tracer,
+                                  controller=Controller())
+        artifact = recorder.capture(now=10)
+        assert artifact["actions"] == [{
+            "cycle": 5, "kind": "reshard", "target": "classifier",
+            "rule": "broken-tile", "outcome": "applied",
+            "detail": "moved"}]
+
+    def test_namespaced_tracer_mapping_keys_sources(self):
+        env0, env1 = Environment(), Environment()
+        t0 = attach_tracer(env0, namespace="i0")
+        t1 = attach_tracer(env1, namespace="i1")
+        t0.complete("a", "w", "x", "cat", 0, 1)
+        recorder = FlightRecorder("unused", {"i0": t0, "i1": t1})
+        artifact = recorder.capture(now=5)
+        assert set(artifact["spans"]) == {"i0", "i1"}
+        assert set(artifact["dropped"]) == {"i0", "i1"}

@@ -1,0 +1,158 @@
+"""trace-query: waterfall reconstruction and cycle attribution from
+an exported Chrome trace."""
+
+import pytest
+
+from repro.trace import (
+    QUERY_GROUPS,
+    Tracer,
+    load_trace,
+    merge_chrome_traces,
+    query_trace,
+    to_chrome_trace,
+    trace_ids_in,
+)
+from tests.trace.test_export import _Decision
+from tests.trace.test_tracer import FakeClock
+
+
+def request_tracer():
+    """One request's records plus unrelated noise, single SoC."""
+    env = FakeClock()
+    tracer = Tracer(env)
+    env.now = 10
+    tracer.instant("serve", "tenant:app", "admit", "serve.submit",
+                   trace_id="t-0")
+    tracer.complete("serve", "tenant:app", "0", "serve.request",
+                    10, 200, trace_id="t-0")
+    tracer.complete("serve", "tenant:app", "dispatch",
+                    "serve.dispatch", 50, 190, trace_id="t-0")
+    tracer.complete("cpu", "driver", "ioctl", "runtime.ioctl",
+                    55, 60, trace_id="t-0")
+    tracer.complete("mem0", "dma", "load", "dma.load", 60, 100,
+                    trace_id="t-0")
+    tracer.complete("a0", "wrapper", "c", "acc.compute", 100, 170,
+                    trace_id="t-0")
+    tracer.complete("noc", "dma_req", "PKT", "noc.packet", 60, 70,
+                    trace_id="t-0")
+    # A second request and an untagged span: must not leak into t-0.
+    tracer.complete("serve", "tenant:app", "1", "serve.request",
+                    300, 400, trace_id="t-1")
+    tracer.complete("a0", "wrapper", "c", "acc.compute", 300, 350)
+    env.now = 400
+    return tracer
+
+
+class TestTraceIdsIn:
+    def test_collects_singular_and_plural_ids(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        tracer.complete("a0", "w", "c", "acc.compute", 0, 10,
+                        trace_id="t-0", trace_ids=("t-0", "t-5"))
+        tracer.complete("a0", "w", "c", "acc.compute", 10, 20,
+                        trace_id="t-1")
+        trace = to_chrome_trace(tracer)
+        assert trace_ids_in(trace) == ["t-0", "t-1", "t-5"]
+
+    def test_empty_trace(self):
+        assert trace_ids_in({"traceEvents": []}) == []
+
+
+class TestQueryTrace:
+    def test_waterfall_collects_only_matching_events(self):
+        timeline = query_trace(to_chrome_trace(request_tracer()),
+                               "t-0")
+        assert len(timeline.events) == 7
+        assert all(e.args.get("trace_id") == "t-0"
+                   for e in timeline.events)
+        starts = [e.start for e in timeline.events]
+        assert starts == sorted(starts)
+
+    def test_latency_and_queue_cycles(self):
+        timeline = query_trace(to_chrome_trace(request_tracer()),
+                               "t-0")
+        assert timeline.latency_cycles == 190    # request span
+        assert timeline.queue_cycles == 40       # admit -> dispatch
+        assert timeline.start == 10 and timeline.end == 200
+
+    def test_busy_cycles_grouped_by_stage(self):
+        timeline = query_trace(to_chrome_trace(request_tracer()),
+                               "t-0")
+        assert timeline.busy_cycles["software"] == 5
+        assert timeline.busy_cycles["dma"] == 40
+        assert timeline.busy_cycles["compute"] == 70
+        assert timeline.busy_cycles["noc"] == 10
+        assert set(timeline.busy_cycles) <= set(QUERY_GROUPS)
+
+    def test_clock_scaling_round_trips_to_cycles(self):
+        # Export at a non-trivial clock: µs timestamps must convert
+        # back to exact integer cycles.
+        trace = to_chrome_trace(request_tracer(), clock_mhz=78.0)
+        timeline = query_trace(trace, "t-0")
+        assert timeline.latency_cycles == 190
+        assert timeline.busy_cycles["compute"] == 70
+
+    def test_async_pairs_reassembled(self):
+        # serve.request and noc.packet export as b/e pairs; the query
+        # must reassemble them into single closed events.
+        trace = to_chrome_trace(request_tracer())
+        timeline = query_trace(trace, "t-0")
+        request = next(e for e in timeline.events
+                       if e.cat == "serve.request")
+        assert (request.start, request.end) == (10, 200)
+        packet = next(e for e in timeline.events
+                      if e.cat == "noc.packet")
+        assert (packet.start, packet.end) == (60, 70)
+
+    def test_batched_request_matches_trace_ids_tuple(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        tracer.complete("serve", "tenant:app", "dispatch",
+                        "serve.dispatch", 0, 50, trace_id="t-0",
+                        trace_ids=("t-0", "t-1"))
+        timeline = query_trace(to_chrome_trace(tracer), "t-1")
+        assert len(timeline.events) == 1
+
+    def test_unknown_id_yields_empty_timeline(self):
+        timeline = query_trace(to_chrome_trace(request_tracer()),
+                               "t-99")
+        assert timeline.events == []
+        assert timeline.latency_cycles is None
+
+    def test_routed_to_from_merged_decision(self):
+        tracer = request_tracer()
+        tracer.namespace = "i0"
+        trace = merge_chrome_traces(
+            {"i0": tracer},
+            decisions=[_Decision(10, "app", "i0", trace_id="t-0")])
+        timeline = query_trace(trace, "t-0")
+        assert timeline.routed_to == "i0"
+        assert timeline.routed_at == 10
+        assert any(e.track == "router/route" for e in timeline.events)
+
+    def test_render_shows_header_and_rows(self):
+        timeline = query_trace(to_chrome_trace(request_tracer()),
+                               "t-0")
+        text = timeline.render()
+        assert "== trace t-0: 7 events ==" in text
+        assert "latency 190 cycles (queue 40)" in text
+        assert "busy cycles by stage:" in text
+        assert "acc.compute" in text
+
+    def test_render_limit_truncates(self):
+        timeline = query_trace(to_chrome_trace(request_tracer()),
+                               "t-0")
+        text = timeline.render(limit=2)
+        assert "... 5 more events" in text
+
+
+class TestLoadTrace:
+    def test_round_trip_through_disk(self, tmp_path):
+        import json
+
+        trace = to_chrome_trace(request_tracer(), clock_mhz=78.0)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        loaded = load_trace(path)
+        assert trace_ids_in(loaded) == ["t-0", "t-1"]
+        assert query_trace(loaded, "t-0").latency_cycles == 190

@@ -116,6 +116,147 @@ class TestQueries:
             tracer.find_span("nope")
 
 
+class TestFlightRecorderRing:
+    def _filled(self, capacity, n):
+        env = FakeClock()
+        tracer = Tracer(env, capacity=capacity)
+        for i in range(n):
+            tracer.complete("t", "e", f"s{i}", "cat", i, i + 1)
+        return tracer
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(FakeClock(), capacity=0)
+
+    def test_eviction_keeps_last_capacity_within_double_bound(self):
+        # Amortized compaction: between 'capacity' and '2 * capacity'
+        # records held at any instant, always the most recent ones.
+        capacity = 8
+        for n in (7, 16, 17, 100):
+            tracer = self._filled(capacity, n)
+            held = len(tracer.spans)
+            assert held <= 2 * capacity
+            if n <= 2 * capacity:
+                assert held == n and tracer.dropped == 0
+            else:
+                assert held >= capacity
+                assert tracer.dropped == n - held
+                # The survivors are exactly the newest records.
+                assert [s.name for s in tracer.spans] == \
+                    [f"s{i}" for i in range(n - held, n)]
+
+    def test_dropped_counters_split_by_record_kind(self):
+        env = FakeClock()
+        tracer = Tracer(env, capacity=2)
+        for i in range(10):
+            tracer.complete("t", "e", "s", "cat", i, i + 1)
+            tracer.instant("t", "e", "i", "cat")
+            tracer.counter("t", "c", v=i)
+        assert tracer.dropped_spans > 0
+        assert tracer.dropped_instants > 0
+        assert tracer.dropped_counters > 0
+        assert tracer.dropped == (tracer.dropped_spans
+                                  + tracer.dropped_instants
+                                  + tracer.dropped_counters)
+
+    def test_open_spans_never_evicted(self):
+        env = FakeClock()
+        tracer = Tracer(env, capacity=2)
+        sid = tracer.begin("t", "e", "inflight", "cat")
+        for i in range(20):
+            tracer.complete("t", "e", "s", "cat", i, i + 1)
+        assert [s.name for s in tracer.open_spans] == ["inflight"]
+        env.now = 30
+        span = tracer.end(sid)
+        assert span.end == 30
+
+    def test_windowing_still_exact_after_eviction(self):
+        tracer = self._filled(8, 100)
+        survivors = {s.name for s in tracer.spans}
+        window = {s.name for s in tracer.spans_between(90, 200)}
+        assert window == {name for name in survivors
+                          if int(name[1:]) + 1 > 90}
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer(FakeClock())
+        for i in range(500):
+            tracer.complete("t", "e", f"s{i}", "cat", i, i + 1)
+        assert len(tracer.spans) == 500 and tracer.dropped == 0
+
+
+class TestSpansBetweenBisect:
+    def _interleaved(self, tracer):
+        # begin/end nesting appends spans in END order, not start
+        # order: outer (start 0) lands after inner (start 10).
+        env = tracer.env
+        outer = tracer.begin("t", "e", "outer", "cat")
+        env.now = 10
+        inner = tracer.begin("t", "e", "inner", "cat")
+        env.now = 20
+        tracer.end(inner)
+        env.now = 40
+        tracer.end(outer)
+
+    def test_record_order_is_end_monotone_not_start_monotone(self):
+        # The regression guard for the bisect fast path: it is END
+        # cycles that are monotone at record time, not starts.
+        env = FakeClock()
+        tracer = Tracer(env)
+        self._interleaved(tracer)
+        starts = [s.start for s in tracer.spans]
+        ends = [s.end for s in tracer.spans]
+        assert starts != sorted(starts)
+        assert ends == sorted(ends)
+        assert tracer._ends_sorted
+
+    def test_bisect_matches_linear_scan(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        self._interleaved(tracer)
+        for i in range(30):
+            tracer.complete("t", "e", f"s{i}", "cat",
+                            40 + 3 * i, 45 + 3 * i)
+        assert tracer._ends_sorted
+        for t0, t1 in ((0, 1000), (0, 10), (15, 42), (41, 41),
+                       (50, 90), (130, 131), (200, 300)):
+            fast = tracer.spans_between(t0, t1)
+            slow = [s for s in tracer.spans
+                    if s.end is not None and s.end > t0
+                    and s.start < t1]
+            assert fast == slow, (t0, t1)
+
+    def test_backdated_complete_falls_back_correctly(self):
+        env = FakeClock()
+        tracer = Tracer(env)
+        for i in range(10):
+            tracer.complete("t", "e", f"s{i}", "cat",
+                            10 * i, 10 * i + 5)
+        # Back-dated record: breaks end-monotonicity, must disable
+        # the fast path rather than silently miss it in windows.
+        tracer.complete("t", "e", "late", "cat", 3, 4)
+        assert not tracer._ends_sorted
+        names = {s.name for s in tracer.spans_between(0, 10)}
+        assert "late" in names and "s0" in names
+
+    def test_eviction_of_unsorted_prefix_restores_fast_path(self):
+        env = FakeClock()
+        tracer = Tracer(env, capacity=4)
+        tracer.complete("t", "e", "a", "cat", 0, 100)
+        tracer.complete("t", "e", "late", "cat", 0, 1)
+        assert not tracer._ends_sorted
+        for i in range(10):
+            tracer.complete("t", "e", f"s{i}", "cat",
+                            200 + i, 201 + i)
+        assert tracer._ends_sorted
+
+    def test_clear_resets_fast_path_state(self):
+        tracer = Tracer(FakeClock())
+        tracer.complete("t", "e", "a", "cat", 0, 100)
+        tracer.complete("t", "e", "late", "cat", 0, 1)
+        tracer.clear()
+        assert tracer._ends_sorted and tracer._ends == []
+
+
 class TestAttachment:
     def test_attach_sets_env_tracer(self):
         env = Environment()
@@ -143,6 +284,15 @@ class TestAttachment:
         assert detach_tracer(env) is tracer
         assert env.tracer is None
         assert detach_tracer(env) is None
+
+    def test_namespace_mismatch_refuses_reattach(self):
+        env = Environment()
+        attach_tracer(env, namespace="i0")
+        with pytest.raises(ValueError, match="i0.*i1"):
+            attach_tracer(env, namespace="i1")
+        # Same namespace (or none requested) stays idempotent.
+        assert attach_tracer(env, namespace="i0").namespace == "i0"
+        assert attach_tracer(env).namespace == "i0"
 
 
 def p2p_run(tracing):
